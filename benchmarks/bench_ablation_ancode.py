@@ -1,0 +1,73 @@
+"""Ablation: the AN-code constant A = 2**n - 1 (paper Section 4.1).
+
+The paper chooses the smallest non-trivial n (n=2, A=3) to minimise the
+bits the codeword steals from the register.  Larger A keeps single-bit
+detection perfect but shrinks TRUMP's applicable range (values must stay
+below 2**63 / A), so coverage -- and with it reliability -- can only
+degrade, while cost stays roughly flat (the encode sequence is the same
+shift-and-subtract).
+
+Run:  pytest benchmarks/bench_ablation_ancode.py --benchmark-only -s
+"""
+
+from conftest import ABLATION_BENCHMARKS, TRIALS
+
+from repro.eval import PipelineOptions, prepare_machine
+from repro.faults import run_campaign
+from repro.sim import TimingSimulator
+from repro.transform import Technique, coverage_report
+from repro.transform.engine import ProtectionConfig
+from repro.workloads import build
+
+POWERS = (2, 3, 4)   # A = 3, 7, 15
+
+
+def _coverage(bench: str, power: int) -> float:
+    config = ProtectionConfig(an_power=power)
+    covered = total = 0
+    for fn in build(bench):
+        report = coverage_report(fn, config)
+        covered += report["an_definitions"]
+        total += report["definitions"]
+    return covered / total if total else 0.0
+
+
+def _measure():
+    rows = {}
+    for power in POWERS:
+        options = PipelineOptions(an_power=power)
+        per_bench = {}
+        for bench in ABLATION_BENCHMARKS:
+            noft = TimingSimulator(
+                prepare_machine(bench, Technique.NOFT, options)
+            ).run().cycles
+            machine = prepare_machine(bench, Technique.TRUMP, options)
+            cycles = TimingSimulator(machine).run().cycles
+            campaign = run_campaign(machine.program, trials=TRIALS,
+                                    seed=31, machine=machine)
+            per_bench[bench] = (cycles / noft, campaign.unace_percent,
+                                _coverage(bench, power))
+        rows[power] = per_bench
+    return rows
+
+
+def test_an_constant_choice(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(f"{'benchmark':10s} " + "".join(
+        f"{'A=' + str((1 << p) - 1):>22s}" for p in POWERS))
+    for bench in ABLATION_BENCHMARKS:
+        row = f"{bench:10s} "
+        for power in POWERS:
+            norm, unace, cov = results[power][bench]
+            row += f"  {norm:5.2f}x {unace:5.1f}% cov{cov:4.2f}"
+        print(row)
+    for bench in ABLATION_BENCHMARKS:
+        # Applicable coverage never grows with A.
+        coverages = [results[p][bench][2] for p in POWERS]
+        assert coverages == sorted(coverages, reverse=True)
+        # Every A still protects correctly (semantics checked by
+        # prepare(); reliability must not collapse).
+        for power in POWERS:
+            assert results[power][bench][1] >= \
+                results[POWERS[0]][bench][1] - 12.0

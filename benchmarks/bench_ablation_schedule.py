@@ -1,0 +1,70 @@
+"""Ablation: check placement vs ILP scheduling (paper Sections 3.2/7.1).
+
+The paper observes that its compiler "was not specifically directed to
+schedule for reliability" and that moving checks closer to uses would
+improve reliability, possibly at performance cost.  This bench builds
+SWIFT-R binaries three ways -- unscheduled (checks emitted adjacent to
+uses), ILP-scheduled, and CHECKS_LATE-scheduled -- and measures both
+sides of the trade.
+
+Run:  pytest benchmarks/bench_ablation_schedule.py --benchmark-only -s
+"""
+
+from conftest import ABLATION_BENCHMARKS, TRIALS
+
+from repro.faults import run_campaign
+from repro.sim import Machine, TimingSimulator
+from repro.transform import (
+    SchedulePolicy,
+    Technique,
+    allocate_program,
+    protect,
+    schedule_program,
+)
+from repro.workloads import build
+
+MODES = ("unscheduled", "ilp", "checks-late")
+
+
+def _build(bench: str, mode: str):
+    hardened = protect(build(bench), Technique.SWIFTR)
+    if mode == "ilp":
+        hardened = schedule_program(hardened, SchedulePolicy.ILP)
+    elif mode == "checks-late":
+        hardened = schedule_program(hardened, SchedulePolicy.CHECKS_LATE)
+    return allocate_program(hardened)
+
+
+def _measure():
+    rows = {}
+    for bench in ABLATION_BENCHMARKS:
+        noft = TimingSimulator(
+            Machine(allocate_program(protect(build(bench), Technique.NOFT)))
+        ).run().cycles
+        per_mode = {}
+        for mode in MODES:
+            machine = Machine(_build(bench, mode))
+            cycles = TimingSimulator(machine).run().cycles
+            machine.reset()
+            campaign = run_campaign(machine.program, trials=TRIALS,
+                                    seed=77, machine=machine)
+            per_mode[mode] = (cycles / noft, campaign.unace_percent)
+        rows[bench] = per_mode
+    return rows
+
+
+def test_schedule_policy_tradeoff(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    header = f"{'benchmark':10s}" + "".join(f"{m:>22s}" for m in MODES)
+    print(header)
+    for bench, per_mode in results.items():
+        row = f"{bench:10s}"
+        for mode in MODES:
+            norm, unace = per_mode[mode]
+            row += f"   {norm:5.2f}x {unace:6.1f}%    "
+        print(row)
+    for bench, per_mode in results.items():
+        for mode in MODES:
+            # Scheduling must never break protection.
+            assert per_mode[mode][1] > 90.0

@@ -1,0 +1,57 @@
+"""Ablation: SWIFT-R majority-vote emission style.
+
+The paper's voting procedure is described abstractly (Section 3.1);
+this library offers two lowerings and this bench quantifies the trade:
+
+* ``BRANCHING``  -- 2 hot instructions per vote, cold repair paths;
+* ``BRANCHFREE`` -- 7 straight-line bitwise-majority instructions,
+  no control flow, repairs *all three* copies unconditionally.
+
+Run:  pytest benchmarks/bench_ablation_votestyle.py --benchmark-only -s
+"""
+
+from conftest import ABLATION_BENCHMARKS, TRIALS
+
+from repro.eval import PipelineOptions, prepare_machine
+from repro.faults import run_campaign
+from repro.sim import TimingSimulator
+from repro.transform import Technique, VoteStyle
+
+
+def _measure(style: VoteStyle):
+    options = PipelineOptions(vote_style=style)
+    rows = {}
+    for bench in ABLATION_BENCHMARKS:
+        noft = TimingSimulator(
+            prepare_machine(bench, Technique.NOFT, options)
+        ).run().cycles
+        machine = prepare_machine(bench, Technique.SWIFTR, options)
+        cycles = TimingSimulator(machine).run().cycles
+        campaign = run_campaign(machine.program, trials=TRIALS, seed=17,
+                                machine=machine)
+        rows[bench] = (cycles / noft, campaign.unace_percent)
+    return rows
+
+
+def test_vote_style_tradeoff(benchmark):
+    results = benchmark.pedantic(
+        lambda: {style: _measure(style) for style in VoteStyle},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"{'benchmark':10s} {'branching':>20s} {'branchfree':>20s}")
+    print(f"{'':10s} {'norm':>9s} {'unACE%':>10s} {'norm':>9s} "
+          f"{'unACE%':>10s}")
+    for bench in ABLATION_BENCHMARKS:
+        b_norm, b_un = results[VoteStyle.BRANCHING][bench]
+        f_norm, f_un = results[VoteStyle.BRANCHFREE][bench]
+        print(f"{bench:10s} {b_norm:9.2f} {b_un:10.1f} "
+              f"{f_norm:9.2f} {f_un:10.1f}")
+    for bench in ABLATION_BENCHMARKS:
+        b_norm, b_un = results[VoteStyle.BRANCHING][bench]
+        f_norm, f_un = results[VoteStyle.BRANCHFREE][bench]
+        # Both styles must protect effectively.
+        assert b_un > 90.0 and f_un > 90.0
+        # Branch-free votes cost more instructions; allow parity but
+        # not a win on every benchmark.
+        assert f_norm > b_norm * 0.9

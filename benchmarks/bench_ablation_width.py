@@ -1,0 +1,52 @@
+"""Ablation: issue width vs protection overhead (paper Section 7.2).
+
+The paper's central performance claim is that software redundancy rides
+on *unused ILP resources*: the redundant streams are independent of the
+original, so a wide machine absorbs them almost for free while a scalar
+machine pays full price.  This bench sweeps the modeled issue width and
+shows SWIFT-R's normalised cost falling as width grows.
+
+Run:  pytest benchmarks/bench_ablation_width.py --benchmark-only -s
+"""
+
+from conftest import ABLATION_BENCHMARKS
+
+from repro.eval import prepare_machine
+from repro.sim import TimingConfig, TimingSimulator
+from repro.transform import Technique
+
+WIDTHS = (1, 2, 4, 8)
+
+
+def _measure():
+    rows = {}
+    for bench in ABLATION_BENCHMARKS:
+        per_width = {}
+        for width in WIDTHS:
+            config = TimingConfig(width=width)
+            noft = TimingSimulator(
+                prepare_machine(bench, Technique.NOFT), config
+            ).run().cycles
+            swiftr = TimingSimulator(
+                prepare_machine(bench, Technique.SWIFTR), config
+            ).run().cycles
+            per_width[width] = swiftr / noft
+        rows[bench] = per_width
+    return rows
+
+
+def test_width_absorbs_redundancy(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(f"{'benchmark':10s}" + "".join(f"{'w=' + str(w):>9s}"
+                                         for w in WIDTHS))
+    for bench, per_width in results.items():
+        print(f"{bench:10s}" + "".join(f"{per_width[w]:9.2f}"
+                                       for w in WIDTHS))
+    for bench, per_width in results.items():
+        # Wider machines hide more of the redundancy.
+        assert per_width[8] < per_width[1]
+        # On a scalar machine the cost approaches the instruction-count
+        # ratio (towards 3x for TMR); on a wide one it drops towards the
+        # paper's ~2x and below.
+        assert per_width[1] > per_width[4] * 1.05

@@ -1,0 +1,77 @@
+"""Component micro-benchmarks: throughput of the library's moving parts.
+
+Unlike the figure benches these measure the *library* (simulator speed,
+pass latency, allocator latency, campaign throughput), so regressions in
+the infrastructure show up even when the science stays right.
+
+Run:  pytest benchmarks/bench_components.py --benchmark-only
+"""
+
+import pytest
+
+from repro.faults import run_campaign
+from repro.lang import compile_source
+from repro.sim import Machine, TimingSimulator
+from repro.transform import (
+    Technique,
+    allocate_program,
+    protect,
+)
+from repro.workloads import WORKLOADS, build
+
+
+def test_simulator_throughput(benchmark):
+    """Functional-interpreter speed on the matmul kernel."""
+    machine = Machine(allocate_program(build("matmul")))
+
+    def run():
+        machine.reset()
+        return machine.run(None)
+
+    result = benchmark(run)
+    assert result.status.value == "exited"
+
+
+def test_timing_model_throughput(benchmark):
+    machine = Machine(allocate_program(build("matmul")))
+    sim = TimingSimulator(machine)
+    result = benchmark(sim.run)
+    assert result.cycles > 0
+
+
+def test_compile_minic(benchmark):
+    source = WORKLOADS["adpcmdec"].source
+    program = benchmark(compile_source, source)
+    assert program.num_instructions() > 100
+
+
+@pytest.mark.parametrize("technique", [Technique.SWIFT, Technique.SWIFTR,
+                                       Technique.TRUMP])
+def test_protection_pass_latency(benchmark, technique):
+    program = build("adpcmdec")
+    hardened = benchmark(protect, program, technique)
+    assert hardened.num_instructions() > program.num_instructions()
+
+
+def test_register_allocation_latency(benchmark):
+    hardened = protect(build("adpcmdec"), Technique.SWIFTR)
+    allocated = benchmark(allocate_program, hardened)
+    assert allocated.function("main").frame_words >= 0
+
+
+def test_campaign_throughput(benchmark):
+    binary = allocate_program(build("crc32"))
+    machine = Machine(binary)
+
+    def campaign():
+        return run_campaign(binary, trials=20, seed=3, machine=machine)
+
+    result = benchmark(campaign)
+    assert result.trials == 20
+
+
+def test_machine_compilation_latency(benchmark):
+    binary = allocate_program(protect(build("adpcmdec"),
+                                      Technique.SWIFTR))
+    machine = benchmark(Machine, binary)
+    assert machine.entry is not None

@@ -1,0 +1,83 @@
+"""Extension experiment: fault models beyond the paper's register SEUs.
+
+The paper injects only into integer registers and *discusses* two other
+fault classes: opcode-bit faults (vulnerability class 3, Section 3.2)
+and program-counter faults (assumed away in Section 2, deferred to
+signature-based control-flow checking).  This bench runs both:
+
+* **opcode faults** against NOFT / SWIFT / SWIFT-R show that
+  register-level redundancy loses much of its power when the
+  instruction itself mutates -- exactly the residual window the paper
+  predicts;
+* **wild jumps** against NOFT / CFC / SWIFT-R+CFC show the composable
+  control-flow layer catching what data redundancy cannot.
+
+Run:  pytest benchmarks/bench_ext_faultmodels.py --benchmark-only -s
+"""
+
+from conftest import TRIALS
+
+from repro.faults import (
+    run_campaign,
+    run_opcode_campaign,
+    run_wild_jump_campaign,
+)
+from repro.sim import Machine
+from repro.transform import Technique, allocate_program, apply_cfc, protect
+from repro.workloads import build
+
+BENCH = "sort"
+
+
+def _measure():
+    program = build(BENCH)
+    rows = {}
+    for label, technique in (("NOFT", Technique.NOFT),
+                             ("SWIFT", Technique.SWIFT),
+                             ("SWIFT-R", Technique.SWIFTR)):
+        binary = allocate_program(protect(program, technique))
+        machine = Machine(binary)
+        reg = run_campaign(binary, trials=TRIALS, seed=5, machine=machine)
+        opc = run_opcode_campaign(binary, trials=TRIALS, seed=5,
+                                  machine=machine)
+        rows[label] = (reg, opc)
+    jumps = {}
+    for label, builder in (
+        ("NOFT", lambda p: p),
+        ("CFC", apply_cfc),
+        ("SWIFT-R+CFC", lambda p: apply_cfc(protect(p, Technique.SWIFTR))),
+    ):
+        binary = allocate_program(builder(build(BENCH)))
+        jumps[label] = run_wild_jump_campaign(binary, trials=TRIALS, seed=5)
+    return rows, jumps
+
+
+def test_extended_fault_models(benchmark):
+    rows, jumps = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(f"--- opcode-bit faults vs register faults ({BENCH}) ---")
+    print(f"{'technique':10s} {'reg unACE%':>11s} {'opc unACE%':>11s} "
+          f"{'opc DUE%':>9s} {'opc SEGV%':>10s}")
+    for label, (reg, opc) in rows.items():
+        print(f"{label:10s} {reg.unace_percent:11.1f} "
+              f"{opc.unace_percent:11.1f} {opc.detected_percent:9.1f} "
+              f"{opc.segv_percent:10.1f}")
+    print(f"\n--- wild-jump (PC) faults ({BENCH}) ---")
+    print(f"{'build':12s} {'unACE%':>7s} {'DUE%':>6s} {'SDC%':>6s} "
+          f"{'SEGV%':>7s}")
+    for label, campaign in jumps.items():
+        print(f"{label:12s} {campaign.unace_percent:7.1f} "
+              f"{campaign.detected_percent:6.1f} "
+              f"{campaign.sdc_percent:6.1f} {campaign.segv_percent:7.1f}")
+
+    # Class-3 vulnerability: opcode faults erode register-level schemes.
+    reg, opc = rows["SWIFT-R"]
+    assert reg.unace_percent > 95.0
+    assert opc.unace_percent < reg.unace_percent
+    # SWIFT's checks catch *some* opcode faults (mutated results differ
+    # from the shadow computation).
+    assert rows["SWIFT"][1].detected_percent > 0.0
+    # CFC detects a substantial share of wild jumps; plain code none.
+    assert jumps["NOFT"].detected_percent == 0.0
+    assert jumps["CFC"].detected_percent > 25.0
+    assert jumps["CFC"].sdc_percent < jumps["NOFT"].sdc_percent

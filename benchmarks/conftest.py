@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark/experiment harness.
+
+Trial counts are environment-scalable: the paper used 250 fault
+injections per (benchmark, technique) cell; the default here is lower
+so a full `pytest benchmarks/ --benchmark-only` run finishes in
+minutes.  Set ``REPRO_TRIALS=250`` for full-fidelity campaigns.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Fault-injection trials per campaign cell (paper: 250).
+TRIALS = int(os.environ.get("REPRO_TRIALS", "60"))
+
+#: Benchmarks used by the ablation benches (fast, behaviourally spread).
+ABLATION_BENCHMARKS = ("adpcmdec", "matmul", "crc32")

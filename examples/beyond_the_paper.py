@@ -1,0 +1,61 @@
+"""Extensions beyond the paper's evaluation: opcode-bit faults and
+control-flow checking.
+
+The paper restricts injection to integer registers and lists what that
+leaves open: faults to instruction opcode bits (Section 3.2, class 3)
+and program-counter faults (assumed absent, Section 2).  This example
+runs both fault models against progressively hardened builds.
+
+Run:  python examples/beyond_the_paper.py
+"""
+
+from repro.faults import (
+    run_campaign,
+    run_opcode_campaign,
+    run_wild_jump_campaign,
+)
+from repro.sim import Machine
+from repro.transform import Technique, allocate_program, apply_cfc, protect
+from repro.workloads import build
+
+TRIALS = 200
+
+
+def main() -> None:
+    program = build("sort")
+
+    print("=== 1. opcode-bit faults (paper Section 3.2, class 3) ===")
+    print(f"{'build':10s} {'register-fault unACE%':>22s} "
+          f"{'opcode-fault unACE%':>20s}")
+    for label, technique in (("NOFT", Technique.NOFT),
+                             ("SWIFT-R", Technique.SWIFTR)):
+        binary = allocate_program(protect(program, technique))
+        machine = Machine(binary)
+        reg = run_campaign(binary, trials=TRIALS, seed=11, machine=machine)
+        opc = run_opcode_campaign(binary, trials=TRIALS, seed=11,
+                                  machine=machine)
+        print(f"{label:10s} {reg.unace_percent:22.1f} "
+              f"{opc.unace_percent:20.1f}")
+    print("-> register-level redundancy cannot fully protect against "
+          "instructions that mutate; the paper's class-3 window, "
+          "quantified.\n")
+
+    print("=== 2. wild jumps + signature-based control-flow checking ===")
+    print(f"{'build':14s} {'unACE%':>7s} {'detected%':>10s} {'SDC%':>6s}")
+    for label, builder in (
+        ("NOFT", lambda p: p),
+        ("CFC", apply_cfc),
+        ("SWIFT-R+CFC", lambda p: apply_cfc(protect(p, Technique.SWIFTR))),
+    ):
+        binary = allocate_program(builder(build("sort")))
+        campaign = run_wild_jump_campaign(binary, trials=TRIALS, seed=11)
+        print(f"{label:14s} {campaign.unace_percent:7.1f} "
+              f"{campaign.detected_percent:10.1f} "
+              f"{campaign.sdc_percent:6.1f}")
+    print("-> the control-flow layer the paper factors out, implemented "
+          "and measured: it converts silent corruption from PC faults "
+          "into detected events.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+This mirrors pyproject.toml so that editable installs work in offline
+environments whose pip cannot build PEP 660 wheels (no `wheel` package):
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Automatic Instruction-Level Software-Only "
+        "Recovery' (DSN 2006): SWIFT-R, TRUMP, and MASK compiler passes "
+        "with a virtual ISA, mini-C compiler, simulator, and SEU "
+        "fault-injection harness."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,58 @@
+"""repro: a full reproduction of "Automatic Instruction-Level
+Software-Only Recovery" (Chang, Reis, August -- DSN 2006).
+
+The package implements the paper's three recovery techniques (SWIFT-R,
+TRUMP, MASK), their hybrids, and the SWIFT detection baseline as
+compiler passes over a virtual RISC ISA, together with every substrate
+the evaluation needs: a mini-C compiler, static analyses, a linear-scan
+register allocator, an architectural simulator with an ILP timing
+model, and an SEU fault-injection campaign harness.
+
+Quick start::
+
+    from repro import compile_source, protect, Technique
+    from repro.transform import allocate_program
+    from repro.faults import run_campaign
+
+    program = compile_source("int main() { print(42); return 0; }")
+    hardened = allocate_program(protect(program, Technique.SWIFTR))
+    result = run_campaign(hardened, trials=250, seed=0)
+    print(result.unace_percent)
+"""
+
+from .errors import ReproError
+from .faults import Outcome, run_campaign
+from .lang import compile_source
+from .sim import Machine, RunResult, RunStatus, measure_cycles, run_program
+from .transform import (
+    PAPER_TECHNIQUES,
+    ProtectionConfig,
+    Technique,
+    VoteStyle,
+    allocate_program,
+    protect,
+)
+from .workloads import PAPER_BENCHMARKS, WORKLOADS
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Machine",
+    "Outcome",
+    "PAPER_BENCHMARKS",
+    "PAPER_TECHNIQUES",
+    "ProtectionConfig",
+    "ReproError",
+    "RunResult",
+    "RunStatus",
+    "Technique",
+    "VoteStyle",
+    "WORKLOADS",
+    "allocate_program",
+    "compile_source",
+    "measure_cycles",
+    "protect",
+    "run_campaign",
+    "run_program",
+    "__version__",
+]

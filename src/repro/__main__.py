@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``run FILE.c``                 compile and execute a mini-C program
+* ``asm FILE.c [-t TECH]``       show the (protected) assembly
+* ``campaign FILE.c [-t TECH]``  SEU fault-injection campaign
+* ``profile WORKLOAD [-t TECH]`` per-function cycle profile
+* ``workloads``                  list the benchmark suite
+* ``fig8`` / ``fig9``            regenerate the paper's figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .faults import run_campaign
+from .lang import compile_source
+from .sim import Machine, TimingSimulator, run_program
+from .transform import Technique, allocate_program, protect
+from .workloads import PAPER_BENCHMARKS, WORKLOADS
+
+
+def _technique(text: str) -> Technique:
+    try:
+        return Technique(text)
+    except ValueError:
+        choices = ", ".join(t.value for t in Technique)
+        raise argparse.ArgumentTypeError(
+            f"unknown technique {text!r} (choices: {choices})"
+        ) from None
+
+
+def _load_binary(path: str, technique: Technique):
+    with open(path) as handle:
+        source = handle.read()
+    program = compile_source(source)
+    return allocate_program(protect(program, technique))
+
+
+def _cmd_run(args) -> int:
+    binary = _load_binary(args.file, args.technique)
+    result = run_program(binary)
+    for item in result.output:
+        print(item)
+    if result.status.value != "exited":
+        print(f"[{result.status.value}: {result.trap_detail}]",
+              file=sys.stderr)
+        return 1
+    return result.exit_code
+
+
+def _cmd_asm(args) -> int:
+    from .isa import print_program
+
+    binary = _load_binary(args.file, args.technique)
+    print(print_program(binary))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    binary = _load_binary(args.file, args.technique)
+    campaign = run_campaign(binary, trials=args.trials, seed=args.seed)
+    print(f"technique : {args.technique.label}")
+    print(f"trials    : {campaign.trials}")
+    print(f"unACE     : {campaign.unace_percent:6.2f}%")
+    print(f"SEGV      : {campaign.segv_percent:6.2f}%")
+    print(f"SDC       : {campaign.sdc_percent:6.2f}%")
+    if campaign.detected_percent:
+        print(f"detected  : {campaign.detected_percent:6.2f}%")
+    print(f"repairs   : fired in {campaign.recoveries} runs")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .eval.profile import profile_workload, render_profile
+
+    profiles, result = profile_workload(args.workload, args.technique)
+    print(render_profile(args.workload, args.technique, profiles))
+    print(f"\ntotal: {result.cycles} cycles, {result.instructions} "
+          f"instructions, ipc {result.ipc:.2f}")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    for name, workload in WORKLOADS.items():
+        marker = "*" if name in PAPER_BENCHMARKS else " "
+        print(f"{marker} {name:10s} {workload.paper_analogue:32s} "
+              f"{workload.description}")
+    print("\n(* = used in the paper-figure reproductions)")
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from .eval import reliability
+
+    argv = ["--trials", str(args.trials)]
+    if args.benchmarks:
+        argv += ["--benchmarks", args.benchmarks]
+    return reliability.main(argv)
+
+
+def _cmd_fig9(args) -> int:
+    from .eval import performance
+
+    argv = ["--benchmarks", args.benchmarks] if args.benchmarks else []
+    return performance.main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SWIFT-R / TRUMP / MASK software-only fault recovery "
+                    "(DSN 2006 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and run a mini-C file")
+    p_run.add_argument("file")
+    p_run.add_argument("-t", "--technique", type=_technique,
+                       default=Technique.NOFT)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_asm = sub.add_parser("asm", help="show (protected) assembly")
+    p_asm.add_argument("file")
+    p_asm.add_argument("-t", "--technique", type=_technique,
+                       default=Technique.NOFT)
+    p_asm.set_defaults(func=_cmd_asm)
+
+    p_campaign = sub.add_parser("campaign",
+                                help="run an SEU fault-injection campaign")
+    p_campaign.add_argument("file")
+    p_campaign.add_argument("-t", "--technique", type=_technique,
+                            default=Technique.SWIFTR)
+    p_campaign.add_argument("--trials", type=int, default=250)
+    p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_profile = sub.add_parser("profile",
+                               help="per-function cycle profile")
+    p_profile.add_argument("workload", choices=sorted(WORKLOADS))
+    p_profile.add_argument("-t", "--technique", type=_technique,
+                           default=Technique.NOFT)
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_workloads = sub.add_parser("workloads", help="list the suite")
+    p_workloads.set_defaults(func=_cmd_workloads)
+
+    p_fig8 = sub.add_parser("fig8", help="reproduce Figure 8 (reliability)")
+    p_fig8.add_argument("--trials", type=int, default=120)
+    p_fig8.add_argument("--benchmarks", default="")
+    p_fig8.set_defaults(func=_cmd_fig8)
+
+    p_fig9 = sub.add_parser("fig9", help="reproduce Figure 9 (performance)")
+    p_fig9.add_argument("--benchmarks", default="")
+    p_fig9.set_defaults(func=_cmd_fig9)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (e.g. `repro asm ... | head`).
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Static analyses used by the protection passes and the allocator."""
+
+from .callgraph import CallGraph
+from .cfg import CFG
+from .defuse import DefUse, DependenceWebs
+from .dominators import DominatorTree
+from .knownbits import ALL_ZERO, KnownBits, NOTHING
+from .liveness import Liveness, instruction_defs, instruction_uses
+from .loops import Loop, find_loops, loop_depths
+from .valuerange import UNBOUNDED, ValueBounds
+
+__all__ = [
+    "ALL_ZERO",
+    "CFG",
+    "CallGraph",
+    "DefUse",
+    "DependenceWebs",
+    "DominatorTree",
+    "KnownBits",
+    "Liveness",
+    "Loop",
+    "NOTHING",
+    "UNBOUNDED",
+    "ValueBounds",
+    "find_loops",
+    "instruction_defs",
+    "instruction_uses",
+    "loop_depths",
+]

@@ -1,0 +1,50 @@
+"""Call graph over a program's functions."""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+
+
+class CallGraph:
+    """Direct-call graph (the ISA has no indirect calls)."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.callees: dict[str, set[str]] = {}
+        self.callers: dict[str, set[str]] = {}
+        for fn in program:
+            self.callees.setdefault(fn.name, set())
+            self.callers.setdefault(fn.name, set())
+        for fn in program:
+            for instr in fn.instructions():
+                if instr.is_call and instr.callee is not None:
+                    self.callees[fn.name].add(instr.callee)
+                    self.callers.setdefault(instr.callee, set()).add(fn.name)
+
+    def reachable_from_entry(self) -> set[str]:
+        seen: set[str] = set()
+        stack = [self.program.entry]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, ()))
+        return seen
+
+    def is_recursive(self, name: str) -> bool:
+        """Does ``name`` participate in any call cycle?"""
+        seen: set[str] = set()
+        stack = list(self.callees.get(name, ()))
+        while stack:
+            node = stack.pop()
+            if node == name:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.callees.get(node, ()))
+        return False
+
+    def leaf_functions(self) -> set[str]:
+        return {name for name, callees in self.callees.items() if not callees}

@@ -1,0 +1,88 @@
+"""Def-use information for virtual registers.
+
+The IR is not SSA: a loop variable is redefined on the back edge.  The
+protection passes therefore reason per *register* (every definition and
+use of a virtual register gets the same protection form), which is what
+the paper's notion of a "dependence chain" maps to in a non-SSA IR:
+chains are unioned over all defs reaching a use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.function import Function
+from ..isa.instruction import Instruction
+from ..isa.registers import Register
+
+
+@dataclass
+class DefUse:
+    """Definition and use sites of every register in one function."""
+
+    defs: dict[Register, list[Instruction]] = field(default_factory=dict)
+    uses: dict[Register, list[Instruction]] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, function: Function) -> "DefUse":
+        result = cls()
+        for instr in function.instructions():
+            if instr.dest is not None:
+                result.defs.setdefault(instr.dest, []).append(instr)
+            for reg in instr.source_registers():
+                result.uses.setdefault(reg, []).append(instr)
+        return result
+
+    def defs_of(self, reg: Register) -> list[Instruction]:
+        return self.defs.get(reg, [])
+
+    def uses_of(self, reg: Register) -> list[Instruction]:
+        return self.uses.get(reg, [])
+
+    def registers(self) -> set[Register]:
+        return set(self.defs) | set(self.uses)
+
+
+class DependenceWebs:
+    """Union-find over registers connected by dataflow.
+
+    Two registers belong to the same web when one's definition reads the
+    other (``add v2, v1, v0`` links v2-v1 and v2-v0).  Webs approximate
+    the paper's dependence chains and are used for reporting coverage
+    statistics (e.g. what fraction of webs TRUMP can protect).
+    """
+
+    def __init__(self, function: Function) -> None:
+        self._parent: dict[Register, Register] = {}
+        for instr in function.instructions():
+            regs = list(instr.registers())
+            for reg in regs:
+                self._parent.setdefault(reg, reg)
+            if instr.dest is not None:
+                for src in instr.source_registers():
+                    self._union(instr.dest, src)
+
+    def _find(self, reg: Register) -> Register:
+        root = reg
+        while self._parent[root] is not root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[reg] is not root:
+            self._parent[reg], reg = root, self._parent[reg]
+        return root
+
+    def _union(self, a: Register, b: Register) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra is not rb:
+            self._parent[ra] = rb
+
+    def same_web(self, a: Register, b: Register) -> bool:
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self._find(a) is self._find(b)
+
+    def webs(self) -> list[set[Register]]:
+        groups: dict[Register, set[Register]] = {}
+        for reg in self._parent:
+            groups.setdefault(self._find(reg), set()).add(reg)
+        return list(groups.values())

@@ -1,0 +1,71 @@
+"""Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm."""
+
+from __future__ import annotations
+
+from ..isa.function import Function
+from .cfg import CFG
+
+
+class DominatorTree:
+    """Immediate dominators and dominance queries for one function."""
+
+    def __init__(self, function: Function, cfg: CFG | None = None) -> None:
+        self.function = function
+        self.cfg = cfg or CFG(function)
+        #: immediate dominator by block name (entry maps to itself)
+        self.idom: dict[str, str] = {}
+        self._rpo_index: dict[str, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        self._rpo_index = {blk.name: i for i, blk in enumerate(rpo)}
+        entry = self.function.entry.name
+        idom: dict[str, str] = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for blk in rpo:
+                if blk.name == entry:
+                    continue
+                processed_preds = [
+                    p for p in self.cfg.predecessors[blk.name] if p in idom
+                ]
+                if not processed_preds:
+                    continue
+                new_idom = processed_preds[0]
+                for pred in processed_preds[1:]:
+                    new_idom = self._intersect(pred, new_idom, idom)
+                if idom.get(blk.name) != new_idom:
+                    idom[blk.name] = new_idom
+                    changed = True
+        self.idom = idom
+
+    def _intersect(self, a: str, b: str, idom: dict[str, str]) -> str:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b``."""
+        entry = self.function.entry.name
+        node = b
+        while True:
+            if node == a:
+                return True
+            if node == entry:
+                return a == entry
+            node = self.idom[node]
+
+    def children(self) -> dict[str, list[str]]:
+        """Dominator-tree children by block name."""
+        tree: dict[str, list[str]] = {name: [] for name in self.idom}
+        entry = self.function.entry.name
+        for name, parent in self.idom.items():
+            if name != entry:
+                tree[parent].append(name)
+        return tree

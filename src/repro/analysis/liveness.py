@@ -1,0 +1,94 @@
+"""Backward liveness analysis over registers.
+
+Produces per-block live-in/live-out sets and, on demand, per-instruction
+live-out sets.  Used by the register allocator (live intervals), the MASK
+pass (insertion points for loop-carried invariants), and the evaluation
+tooling (live-register statistics for fault-site realism checks).
+"""
+
+from __future__ import annotations
+
+from ..isa.block import BasicBlock
+from ..isa.function import Function
+from ..isa.instruction import Instruction
+from ..isa.registers import Register
+from .cfg import CFG
+
+
+def instruction_uses(instr: Instruction) -> set[Register]:
+    return set(instr.source_registers())
+
+
+def instruction_defs(instr: Instruction) -> set[Register]:
+    return {instr.dest} if instr.dest is not None else set()
+
+
+class Liveness:
+    """Fixed-point live-variable analysis for one function."""
+
+    def __init__(self, function: Function, cfg: CFG | None = None) -> None:
+        self.function = function
+        self.cfg = cfg or CFG(function)
+        self.live_in: dict[str, frozenset[Register]] = {}
+        self.live_out: dict[str, frozenset[Register]] = {}
+        self._use: dict[str, frozenset[Register]] = {}
+        self._def: dict[str, frozenset[Register]] = {}
+        self._compute()
+
+    def _local_sets(self, block: BasicBlock) -> tuple[frozenset, frozenset]:
+        upward_uses: set[Register] = set()
+        defined: set[Register] = set()
+        for instr in block.instructions:
+            for reg in instr.source_registers():
+                if reg not in defined:
+                    upward_uses.add(reg)
+            if instr.dest is not None:
+                defined.add(instr.dest)
+        return frozenset(upward_uses), frozenset(defined)
+
+    def _compute(self) -> None:
+        blocks = self.function.blocks
+        for blk in blocks:
+            use, defs = self._local_sets(blk)
+            self._use[blk.name] = use
+            self._def[blk.name] = defs
+            self.live_in[blk.name] = frozenset()
+            self.live_out[blk.name] = frozenset()
+        changed = True
+        # Iterate in reverse layout order for faster convergence.
+        while changed:
+            changed = False
+            for blk in reversed(blocks):
+                out: set[Register] = set()
+                for succ in self.cfg.successors[blk.name]:
+                    out |= self.live_in[succ]
+                new_out = frozenset(out)
+                new_in = frozenset(
+                    self._use[blk.name] | (new_out - self._def[blk.name])
+                )
+                if (new_out != self.live_out[blk.name]
+                        or new_in != self.live_in[blk.name]):
+                    self.live_out[blk.name] = new_out
+                    self.live_in[blk.name] = new_in
+                    changed = True
+
+    def per_instruction_live_out(
+        self, block: BasicBlock
+    ) -> list[frozenset[Register]]:
+        """Live-out set after each instruction of ``block``, in order."""
+        result: list[frozenset[Register]] = [frozenset()] * len(block.instructions)
+        live = set(self.live_out[block.name])
+        for idx in range(len(block.instructions) - 1, -1, -1):
+            instr = block.instructions[idx]
+            result[idx] = frozenset(live)
+            if instr.dest is not None:
+                live.discard(instr.dest)
+            live.update(instr.source_registers())
+        return result
+
+    def live_through_block(self, block: BasicBlock) -> frozenset[Register]:
+        """Registers live on entry, on exit, and never redefined inside."""
+        return frozenset(
+            (self.live_in[block.name] & self.live_out[block.name])
+            - self._def[block.name]
+        )

@@ -1,0 +1,67 @@
+"""Natural-loop detection from back edges of the dominator tree.
+
+MASK uses loop headers as insertion points for loop-carried invariants
+(the adpcmdec idiom in the paper's Figure 6: an ``and r3, r3, 1`` at the
+loop head keeps the guard register's provably-zero bits clean every
+iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.function import Function
+from .cfg import CFG
+from .dominators import DominatorTree
+
+
+@dataclass
+class Loop:
+    """One natural loop: header block plus all body block names."""
+
+    header: str
+    body: set[str] = field(default_factory=set)
+    back_edges: list[str] = field(default_factory=list)
+
+    @property
+    def depth_key(self) -> int:
+        return len(self.body)
+
+
+def find_loops(function: Function, cfg: CFG | None = None) -> list[Loop]:
+    """All natural loops, merged by shared header, innermost first."""
+    cfg = cfg or CFG(function)
+    dom = DominatorTree(function, cfg)
+    reachable = cfg.reachable()
+    loops: dict[str, Loop] = {}
+    for blk in function.blocks:
+        if blk.name not in reachable:
+            continue
+        for succ in cfg.successors[blk.name]:
+            if succ in reachable and dom.dominates(succ, blk.name):
+                loop = loops.setdefault(succ, Loop(header=succ))
+                loop.back_edges.append(blk.name)
+                _collect_body(loop, blk.name, cfg)
+    for loop in loops.values():
+        loop.body.add(loop.header)
+    return sorted(loops.values(), key=lambda lp: lp.depth_key)
+
+
+def _collect_body(loop: Loop, latch: str, cfg: CFG) -> None:
+    """Walk predecessors from the latch up to the header."""
+    stack = [latch]
+    while stack:
+        name = stack.pop()
+        if name == loop.header or name in loop.body:
+            continue
+        loop.body.add(name)
+        stack.extend(cfg.predecessors.get(name, []))
+
+
+def loop_depths(function: Function, cfg: CFG | None = None) -> dict[str, int]:
+    """Nesting depth of every block (0 = not in any loop)."""
+    depths = {blk.name: 0 for blk in function.blocks}
+    for loop in find_loops(function, cfg):
+        for name in loop.body:
+            depths[name] += 1
+    return depths

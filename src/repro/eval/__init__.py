@@ -1,0 +1,45 @@
+"""Experiment drivers that regenerate the paper's figures."""
+
+from .performance import (
+    PerformanceResults,
+    evaluate_performance,
+    render_figure9,
+)
+from .pipeline import (
+    MAX_INSTRUCTIONS,
+    PipelineOptions,
+    build_binary,
+    prepare,
+    prepare_machine,
+)
+from .profile import (
+    FunctionProfile,
+    overhead_by_function,
+    profile_workload,
+    render_profile,
+)
+from .reliability import (
+    DEFAULT_TRIALS,
+    ReliabilityResults,
+    evaluate_reliability,
+    render_figure8,
+)
+
+__all__ = [
+    "DEFAULT_TRIALS",
+    "FunctionProfile",
+    "MAX_INSTRUCTIONS",
+    "PerformanceResults",
+    "PipelineOptions",
+    "ReliabilityResults",
+    "build_binary",
+    "evaluate_performance",
+    "evaluate_reliability",
+    "overhead_by_function",
+    "prepare",
+    "prepare_machine",
+    "profile_workload",
+    "render_profile",
+    "render_figure8",
+    "render_figure9",
+]

@@ -1,0 +1,119 @@
+"""Figure 9 harness: execution time normalised to NOFT, per benchmark.
+
+Regenerates the paper's performance evaluation (Section 7.2): each
+technique's binary is timed fault-free on the in-order superscalar
+model, and the harness prints per-benchmark normalised execution times
+plus the geometric mean, alongside the paper's quoted aggregates
+(MASK 1.00x, TRUMP 1.36x, TRUMP/MASK 1.37x, TRUMP/SWIFT-R 1.98x,
+SWIFT-R 1.99x).
+
+Run: ``python -m repro.eval.performance [--benchmarks a,b,c]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+
+from ..sim.timing import TimingConfig, TimingResult, TimingSimulator
+from ..transform.protect import PAPER_TECHNIQUES, Technique
+from ..workloads.suite import PAPER_BENCHMARKS
+from .pipeline import PipelineOptions, prepare_machine
+from .report import fmt_norm, geomean, render_table
+
+
+@dataclass
+class PerformanceResults:
+    """Timing results for every (benchmark, technique) cell."""
+
+    cells: dict[tuple[str, Technique], TimingResult] = field(
+        default_factory=dict
+    )
+    benchmarks: list[str] = field(default_factory=list)
+    techniques: list[Technique] = field(default_factory=list)
+
+    def cycles(self, benchmark: str, technique: Technique) -> int:
+        return self.cells[(benchmark, technique)].cycles
+
+    def normalized(self, benchmark: str, technique: Technique) -> float:
+        return (self.cycles(benchmark, technique)
+                / self.cycles(benchmark, Technique.NOFT))
+
+    def geomean_normalized(self, technique: Technique) -> float:
+        return geomean([self.normalized(b, technique)
+                        for b in self.benchmarks])
+
+
+def evaluate_performance(
+    benchmarks: list[str] | None = None,
+    techniques: list[Technique] | None = None,
+    options: PipelineOptions | None = None,
+    timing: TimingConfig | None = None,
+    progress: bool = False,
+) -> PerformanceResults:
+    """Time every (benchmark, technique) pair, fault-free."""
+    benchmarks = list(benchmarks or PAPER_BENCHMARKS)
+    techniques = list(techniques or PAPER_TECHNIQUES)
+    options = options or PipelineOptions()
+    results = PerformanceResults(benchmarks=benchmarks,
+                                 techniques=techniques)
+    for bench in benchmarks:
+        for tech in techniques:
+            start = time.perf_counter()
+            machine = prepare_machine(bench, tech, options)
+            results.cells[(bench, tech)] = TimingSimulator(
+                machine, timing
+            ).run()
+            if progress:
+                elapsed = time.perf_counter() - start
+                cell = results.cells[(bench, tech)]
+                print(
+                    f"  {bench:10s} {tech.label:14s} "
+                    f"cycles={cell.cycles:8d} ipc={cell.ipc:4.2f} "
+                    f"({elapsed:.1f}s)",
+                    file=sys.stderr,
+                )
+    return results
+
+
+def render_figure9(results: PerformanceResults) -> str:
+    """Figure-9 data: normalised execution times plus geomean."""
+    shown = [t for t in results.techniques if t is not Technique.NOFT]
+    headers = ["benchmark"] + [t.label for t in shown]
+    rows = []
+    for bench in results.benchmarks:
+        rows.append(
+            [bench]
+            + [fmt_norm(results.normalized(bench, t)) for t in shown]
+        )
+    rows.append(
+        ["GeoMean"]
+        + [fmt_norm(results.geomean_normalized(t)) for t in shown]
+    )
+    table = render_table(
+        headers, rows,
+        title="Figure 9 -- execution time normalised to NOFT",
+    )
+    paper = ("Paper geomeans: MASK 1.00, TRUMP 1.36, TRUMP/MASK 1.37, "
+             "TRUMP/SWIFT-R 1.98, SWIFT-R 1.99")
+    return table + "\n\n" + paper
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's Figure 9 (performance)."
+    )
+    parser.add_argument("--benchmarks", type=str, default="",
+                        help="comma-separated subset of benchmarks")
+    args = parser.parse_args(argv)
+    benchmarks = (args.benchmarks.split(",") if args.benchmarks
+                  else list(PAPER_BENCHMARKS))
+    results = evaluate_performance(benchmarks=benchmarks, progress=True)
+    print(render_figure9(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

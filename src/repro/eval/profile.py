@@ -1,0 +1,83 @@
+"""Per-function cycle profiles (the paper collected these with oprofile).
+
+Attributes issue cycles to functions during a timed run, and renders a
+flat profile plus a protection-overhead breakdown per function --
+useful for seeing *where* a technique's cost lands (e.g. vortex's
+lookup loops paying for validation, mcf's sweeps hiding it in stalls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.timing import TimingConfig, TimingResult, TimingSimulator
+from ..transform.protect import Technique
+from .pipeline import PipelineOptions, prepare_machine
+from .report import render_table
+
+
+@dataclass
+class FunctionProfile:
+    name: str
+    cycles: int
+    instructions: int
+    cycle_share: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def profile_workload(
+    workload: str,
+    technique: Technique = Technique.NOFT,
+    options: PipelineOptions | None = None,
+    timing: TimingConfig | None = None,
+) -> tuple[list[FunctionProfile], TimingResult]:
+    """A flat per-function profile of one workload build."""
+    machine = prepare_machine(workload, technique,
+                              options or PipelineOptions())
+    result = TimingSimulator(machine, timing).run(profile=True)
+    total = max(sum(result.function_cycles.values()), 1)
+    profiles = [
+        FunctionProfile(
+            name=name,
+            cycles=cycles,
+            instructions=result.function_instructions.get(name, 0),
+            cycle_share=cycles / total,
+        )
+        for name, cycles in result.function_cycles.items()
+    ]
+    profiles.sort(key=lambda p: -p.cycles)
+    return profiles, result
+
+
+def render_profile(workload: str, technique: Technique,
+                   profiles: list[FunctionProfile]) -> str:
+    rows = [
+        [p.name, f"{p.cycles}", f"{100 * p.cycle_share:6.2f}",
+         f"{p.instructions}", f"{p.ipc:4.2f}"]
+        for p in profiles
+    ]
+    return render_table(
+        ["function", "cycles", "cycles%", "instrs", "ipc"],
+        rows,
+        title=f"profile: {workload} [{technique.label}]",
+    )
+
+
+def overhead_by_function(
+    workload: str,
+    technique: Technique,
+    options: PipelineOptions | None = None,
+) -> dict[str, float]:
+    """Per-function normalised execution time (technique / NOFT)."""
+    base, _ = profile_workload(workload, Technique.NOFT, options)
+    hard, _ = profile_workload(workload, technique, options)
+    base_cycles = {p.name: p.cycles for p in base}
+    result = {}
+    for p in hard:
+        # Generated helpers (e.g. __alloc) exist in both builds.
+        if base_cycles.get(p.name):
+            result[p.name] = p.cycles / base_cycles[p.name]
+    return result

@@ -1,0 +1,158 @@
+"""Figure 8 harness: reliability under SEU injection, per benchmark,
+for NOFT / MASK / TRUMP / TRUMP/MASK / TRUMP/SWIFT-R / SWIFT-R.
+
+Regenerates the paper's reliability evaluation (Section 7.1): for each
+benchmark and technique, a seeded fault-injection campaign classifies
+every trial as unACE / SEGV / SDC, and the harness prints the stacked
+percentages plus the headline aggregate scalars the paper quotes
+(e.g. "SWIFT-R reduces SDC+SEGV by 89.39%").
+
+Run: ``python -m repro.eval.reliability [--trials N] [--seed S]
+[--benchmarks a,b,c]``.  The paper used 250 trials per cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+
+from ..faults.campaign import CampaignResult, run_campaign
+from ..transform.protect import PAPER_TECHNIQUES, Technique
+from ..workloads.suite import PAPER_BENCHMARKS
+from .pipeline import PipelineOptions, prepare_machine
+from .report import average, fmt_pct, reduction_percent, render_table
+
+#: Default trials per (benchmark, technique) cell.  The paper used 250;
+#: override with --trials or the REPRO_TRIALS environment variable.
+DEFAULT_TRIALS = int(os.environ.get("REPRO_TRIALS", "120"))
+
+
+@dataclass
+class ReliabilityResults:
+    """Campaign results for every (benchmark, technique) cell."""
+
+    trials: int
+    seed: int
+    cells: dict[tuple[str, Technique], CampaignResult] = field(
+        default_factory=dict
+    )
+    benchmarks: list[str] = field(default_factory=list)
+    techniques: list[Technique] = field(default_factory=list)
+
+    def cell(self, benchmark: str, technique: Technique) -> CampaignResult:
+        return self.cells[(benchmark, technique)]
+
+    def mean_unace(self, technique: Technique) -> float:
+        return average([self.cell(b, technique).unace_percent
+                        for b in self.benchmarks])
+
+    def mean_sdc(self, technique: Technique) -> float:
+        return average([self.cell(b, technique).sdc_percent
+                        for b in self.benchmarks])
+
+    def mean_segv(self, technique: Technique) -> float:
+        return average([self.cell(b, technique).segv_percent
+                        for b in self.benchmarks])
+
+    def failure_reduction(self, technique: Technique) -> float:
+        """Reduction of SDC+SEGV vs NOFT (the paper's headline metric)."""
+        base = self.mean_sdc(Technique.NOFT) + self.mean_segv(Technique.NOFT)
+        now = self.mean_sdc(technique) + self.mean_segv(technique)
+        return reduction_percent(base, now)
+
+
+def evaluate_reliability(
+    benchmarks: list[str] | None = None,
+    techniques: list[Technique] | None = None,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 2006,
+    options: PipelineOptions | None = None,
+    progress: bool = False,
+) -> ReliabilityResults:
+    """Run the full Figure-8 campaign grid."""
+    benchmarks = list(benchmarks or PAPER_BENCHMARKS)
+    techniques = list(techniques or PAPER_TECHNIQUES)
+    options = options or PipelineOptions()
+    results = ReliabilityResults(trials=trials, seed=seed,
+                                 benchmarks=benchmarks,
+                                 techniques=techniques)
+    for bench in benchmarks:
+        for tech in techniques:
+            start = time.perf_counter()
+            machine = prepare_machine(bench, tech, options)
+            campaign = run_campaign(machine.program, trials=trials,
+                                    seed=seed, machine=machine)
+            results.cells[(bench, tech)] = campaign
+            if progress:
+                elapsed = time.perf_counter() - start
+                print(
+                    f"  {bench:10s} {tech.label:14s} "
+                    f"unACE={campaign.unace_percent:6.2f} "
+                    f"SEGV={campaign.segv_percent:5.2f} "
+                    f"SDC={campaign.sdc_percent:5.2f} "
+                    f"({elapsed:.1f}s)",
+                    file=sys.stderr,
+                )
+    return results
+
+
+def render_figure8(results: ReliabilityResults) -> str:
+    """The Figure-8 data as a per-benchmark table plus the average row."""
+    headers = ["benchmark"] + [t.label for t in results.techniques]
+    sections = []
+    for metric, getter in (
+        ("unACE %", lambda c: c.unace_percent),
+        ("SEGV %", lambda c: c.segv_percent),
+        ("SDC %", lambda c: c.sdc_percent),
+    ):
+        rows = []
+        for bench in results.benchmarks:
+            rows.append(
+                [bench]
+                + [fmt_pct(getter(results.cell(bench, t)))
+                   for t in results.techniques]
+            )
+        rows.append(
+            ["Average"]
+            + [fmt_pct(average([getter(results.cell(b, t))
+                                for b in results.benchmarks]))
+               for t in results.techniques]
+        )
+        sections.append(render_table(headers, rows,
+                                     title=f"Figure 8 -- {metric}"))
+    scalars = ["Headline scalars (paper Sections 1/7/9):"]
+    for tech in results.techniques:
+        if tech is Technique.NOFT:
+            continue
+        scalars.append(
+            f"  {tech.label:14s} mean unACE {results.mean_unace(tech):6.2f}%"
+            f"  SDC+SEGV reduction vs NOFT "
+            f"{results.failure_reduction(tech):6.2f}%"
+        )
+    return "\n\n".join(sections + ["\n".join(scalars)])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's Figure 8 (reliability)."
+    )
+    parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS,
+                        help="fault-injection trials per cell (paper: 250)")
+    parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--benchmarks", type=str, default="",
+                        help="comma-separated subset of benchmarks")
+    args = parser.parse_args(argv)
+    benchmarks = (args.benchmarks.split(",") if args.benchmarks
+                  else list(PAPER_BENCHMARKS))
+    results = evaluate_reliability(benchmarks=benchmarks,
+                                   trials=args.trials, seed=args.seed,
+                                   progress=True)
+    print(render_figure8(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""ASCII rendering helpers for the evaluation harnesses."""
+
+from __future__ import annotations
+
+from ..faults.stats import geometric_mean
+
+
+def render_table(headers: list[str], rows: list[list[str]],
+                 title: str = "") -> str:
+    """A boxless, aligned ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_stacked_bar(unace: float, segv: float, sdc: float,
+                       width: int = 40) -> str:
+    """A one-line textual rendition of a Figure-8 stacked bar."""
+    total = max(unace + segv + sdc, 1e-9)
+    n_unace = round(width * unace / 100.0)
+    n_segv = round(width * segv / 100.0)
+    n_sdc = max(0, min(width - n_unace - n_segv,
+                       round(width * sdc / 100.0)))
+    bar = "#" * n_unace + "x" * n_segv + "!" * n_sdc
+    return bar.ljust(width)
+
+
+def fmt_pct(value: float) -> str:
+    return f"{value:6.2f}"
+
+
+def fmt_norm(value: float) -> str:
+    return f"{value:5.2f}"
+
+
+def average(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def geomean(values: list[float]) -> float:
+    return geometric_mean(values)
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Percentage reduction of a failure metric vs the baseline."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

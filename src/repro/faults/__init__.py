@@ -1,0 +1,39 @@
+"""SEU fault-injection methodology: model, injector, campaigns, stats."""
+
+from .campaign import CampaignResult, run_campaign, run_sites
+from .controlflow_faults import (
+    WildJumpSite,
+    run_wild_jump_campaign,
+    run_with_wild_jump,
+)
+from .injector import golden_run, run_with_fault
+from .model import FaultSite, INJECTABLE_GPRS, sample_fault_site, sample_sites
+from .opcode_faults import (
+    OpcodeFaultInjector,
+    OpcodeFaultSite,
+    run_opcode_campaign,
+)
+from .outcomes import Outcome, classify
+from .stats import Proportion, geometric_mean
+
+__all__ = [
+    "CampaignResult",
+    "FaultSite",
+    "INJECTABLE_GPRS",
+    "OpcodeFaultInjector",
+    "OpcodeFaultSite",
+    "Outcome",
+    "Proportion",
+    "classify",
+    "geometric_mean",
+    "golden_run",
+    "run_campaign",
+    "run_opcode_campaign",
+    "run_sites",
+    "run_wild_jump_campaign",
+    "run_with_fault",
+    "run_with_wild_jump",
+    "sample_fault_site",
+    "sample_sites",
+    "WildJumpSite",
+]

@@ -1,0 +1,113 @@
+"""Fault-injection campaigns: N seeded SEU trials against one binary.
+
+The paper performed 250 runs per benchmark per technique (Section 7.1).
+Campaigns here are deterministic given (program, seed, trials), so
+results are exactly reproducible and shardable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..isa.program import Program
+from ..sim.events import RunStatus
+from ..sim.machine import Machine
+from .injector import golden_run, run_with_fault
+from .model import FaultSite, sample_fault_site
+from .outcomes import Outcome, classify
+from .stats import Proportion
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome counts of one campaign."""
+
+    trials: int = 0
+    counts: dict[Outcome, int] = field(default_factory=dict)
+    recoveries: int = 0            # runs in which repair code actually fired
+    golden_instructions: int = 0
+
+    def record(self, outcome: Outcome, recovered: bool) -> None:
+        self.trials += 1
+        self.counts[outcome] = self.counts.get(outcome, 0) + 1
+        if recovered:
+            self.recoveries += 1
+
+    def count(self, outcome: Outcome) -> int:
+        return self.counts.get(outcome, 0)
+
+    def proportion(self, outcome: Outcome) -> Proportion:
+        return Proportion(self.count(outcome), self.trials)
+
+    # --- the paper's three-way percentages --------------------------------
+    @property
+    def unace_percent(self) -> float:
+        """unACE%, with SWIFT's detected-and-stopped runs excluded."""
+        return 100.0 * self.count(Outcome.UNACE) / self.trials
+
+    @property
+    def sdc_percent(self) -> float:
+        """SDC%, folding hangs in (see outcomes module docstring)."""
+        sdc = self.count(Outcome.SDC) + self.count(Outcome.HANG)
+        return 100.0 * sdc / self.trials
+
+    @property
+    def segv_percent(self) -> float:
+        return 100.0 * self.count(Outcome.SEGV) / self.trials
+
+    @property
+    def detected_percent(self) -> float:
+        return 100.0 * self.count(Outcome.DETECTED) / self.trials
+
+    def merged(self, other: "CampaignResult") -> "CampaignResult":
+        merged = CampaignResult(
+            trials=self.trials + other.trials,
+            golden_instructions=self.golden_instructions,
+            recoveries=self.recoveries + other.recoveries,
+        )
+        for outcome in Outcome:
+            total = self.count(outcome) + other.count(outcome)
+            if total:
+                merged.counts[outcome] = total
+        return merged
+
+
+def run_campaign(
+    program: Program,
+    trials: int = 250,
+    seed: int = 0,
+    max_instructions: int = 10_000_000,
+    machine: Machine | None = None,
+) -> CampaignResult:
+    """Run a full SEU campaign against ``program``.
+
+    One fault per run, per the SEU model; 250 trials is the paper's
+    setting.  Pass a pre-built ``machine`` to amortise compilation when
+    campaigning the same binary repeatedly.
+    """
+    machine = machine or Machine(program, max_instructions=max_instructions)
+    golden = golden_run(machine)
+    if golden.status is not RunStatus.EXITED:
+        raise SimulationError(
+            f"golden run did not complete cleanly: {golden.status}"
+        )
+    result = CampaignResult(golden_instructions=golden.instructions)
+    rng = random.Random(seed)
+    for _ in range(trials):
+        site = sample_fault_site(rng, golden.instructions)
+        faulty = run_with_fault(machine, site)
+        result.record(classify(golden, faulty), recovered=faulty.recoveries > 0)
+    return result
+
+
+def run_sites(
+    program: Program,
+    sites: list[FaultSite],
+    max_instructions: int = 10_000_000,
+) -> list[Outcome]:
+    """Classify an explicit list of fault sites (used by tests)."""
+    machine = Machine(program, max_instructions=max_instructions)
+    golden = golden_run(machine)
+    return [classify(golden, run_with_fault(machine, s)) for s in sites]

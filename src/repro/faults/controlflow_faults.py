@@ -1,0 +1,74 @@
+"""Wild-jump (program-counter) fault injection.
+
+The paper explicitly assumes no PC faults (Section 2) and leaves
+control-flow protection to a separate, composable mechanism.  This
+module provides the missing fault model so that mechanism
+(:mod:`repro.transform.controlflow`) can be evaluated: at a uniformly
+random dynamic instruction, control teleports to a uniformly random
+(block, instruction) position of the *current* function -- a corrupted
+branch target / program counter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..isa.program import Program
+from ..sim.events import RunResult, RunStatus
+from ..sim.machine import Machine
+from .campaign import CampaignResult
+from .injector import golden_run
+from .outcomes import classify
+
+
+@dataclass(frozen=True)
+class WildJumpSite:
+    """After ``dynamic_index`` instructions, jump somewhere random
+    (derived deterministically from ``target_seed``)."""
+
+    dynamic_index: int
+    target_seed: int
+
+    def __post_init__(self) -> None:
+        if self.dynamic_index < 0:
+            raise ValueError("dynamic index must be non-negative")
+
+
+def run_with_wild_jump(machine: Machine, site: WildJumpSite) -> RunResult:
+    """Execute one run with a single control-flow upset."""
+    machine.reset()
+    first = machine.run(site.dynamic_index)
+    if first.status is not RunStatus.PAUSED:
+        return first
+    func = machine._position[0]
+    rng = random.Random(site.target_seed)
+    block_idx = rng.randrange(len(func.blocks))
+    instr_idx = rng.randrange(len(func.blocks[block_idx].steps))
+    machine._position = (func, block_idx, instr_idx)
+    return machine.run(None)
+
+
+def run_wild_jump_campaign(
+    program: Program,
+    trials: int = 250,
+    seed: int = 0,
+    machine: Machine | None = None,
+) -> CampaignResult:
+    """A campaign of single wild jumps, classified against the golden
+    run with the usual taxonomy (DETECTED counts CFC successes)."""
+    machine = machine or Machine(program)
+    golden = golden_run(machine)
+    if golden.status is not RunStatus.EXITED:
+        raise RuntimeError(f"golden run failed: {golden.status}")
+    result = CampaignResult(golden_instructions=golden.instructions)
+    rng = random.Random(seed)
+    for trial in range(trials):
+        site = WildJumpSite(
+            dynamic_index=rng.randrange(golden.instructions),
+            target_seed=rng.getrandbits(32),
+        )
+        faulty = run_with_wild_jump(machine, site)
+        result.record(classify(golden, faulty),
+                      recovered=faulty.recoveries > 0)
+    return result

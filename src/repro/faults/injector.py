@@ -1,0 +1,31 @@
+"""Single-run fault injection: pause, flip, resume.
+
+The machine's precise pause/resume makes the paper's methodology exact:
+the run executes ``site.dynamic_index`` instructions, one register bit
+is flipped, and execution resumes to an outcome.
+"""
+
+from __future__ import annotations
+
+from ..sim.events import RunResult, RunStatus
+from ..sim.machine import Machine
+from .model import FaultSite
+
+
+def run_with_fault(machine: Machine, site: FaultSite) -> RunResult:
+    """Execute one full run with the given SEU injected."""
+    machine.reset()
+    first = machine.run(site.dynamic_index)
+    if first.status is not RunStatus.PAUSED:
+        # The program terminated before the injection point (possible
+        # only if the site was sampled against a longer golden run, or
+        # under a shrunken max_instructions); the fault never landed.
+        return first
+    machine.flip_register_bit(site.reg_index, site.bit)
+    return machine.run(None)
+
+
+def golden_run(machine: Machine) -> RunResult:
+    """One fault-free reference execution."""
+    machine.reset()
+    return machine.run(None)

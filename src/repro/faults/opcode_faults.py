@@ -1,0 +1,131 @@
+"""Opcode-bit fault injection (the paper's vulnerability class 3).
+
+Section 3.2 of the paper identifies faults to instruction *opcode bits*
+as a window no register-level software scheme can fully close: a flip
+can turn any instruction into a store or a branch, corrupting memory or
+control flow before any check runs.  The paper discusses these faults
+but does not inject them; this module performs the experiment.
+
+Model: one bit of one dynamic instruction's 64-bit encoding flips in
+fetch.  The corrupted word is decoded (possibly into a different legal
+instruction, possibly into garbage = an illegal-instruction fault) and
+executes for exactly that one dynamic instance; the stored program is
+unharmed afterwards, per the transient-fault model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..isa.encoding import (
+    EncodedFunction,
+    IllegalEncoding,
+    decode_instruction,
+    encode_function,
+    encode_instruction,
+)
+from ..isa.program import Program
+from ..sim.events import GuestTrap, RunResult, RunStatus, TrapKind
+from ..sim.machine import Machine
+from .campaign import CampaignResult
+from .injector import golden_run
+from .outcomes import classify
+
+
+@dataclass(frozen=True)
+class OpcodeFaultSite:
+    """Flip ``bit`` of the encoding of the instruction executing after
+    ``dynamic_index`` instructions."""
+
+    dynamic_index: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < 64:
+            raise ValueError(f"bit out of range: {self.bit}")
+        if self.dynamic_index < 0:
+            raise ValueError("dynamic index must be non-negative")
+
+
+class OpcodeFaultInjector:
+    """Per-program injector; builds the encodings once."""
+
+    def __init__(self, program: Program,
+                 machine: Machine | None = None) -> None:
+        self.program = program
+        self.machine = machine or Machine(program)
+        self.encodings: dict[str, EncodedFunction] = {
+            fn.name: encode_function(fn) for fn in program
+        }
+
+    def run_with_fault(self, site: OpcodeFaultSite) -> RunResult:
+        machine = self.machine
+        machine.reset()
+        first = machine.run(site.dynamic_index)
+        if first.status is not RunStatus.PAUSED:
+            return first
+        victim = machine.next_instruction()
+        if victim is None:
+            return machine.run(None)
+        func_name = machine._position[0].name
+        enc = self.encodings[func_name]
+        word = encode_instruction(victim, enc)
+        flipped = word ^ (1 << site.bit)
+        try:
+            mutated = decode_instruction(flipped, enc)
+        except IllegalEncoding as exc:
+            return machine._finish(
+                RunStatus.TRAPPED,
+                GuestTrap(TrapKind.ILLEGAL, str(exc)),
+            )
+        # Targets must resolve within this machine's universe; a branch
+        # whose flipped index names a non-block (or a call naming a
+        # non-function) is a decode fault too.
+        func = machine._position[0]
+        if mutated.label is not None \
+                and mutated.label not in func.block_index:
+            return machine._finish(
+                RunStatus.TRAPPED,
+                GuestTrap(TrapKind.ILLEGAL,
+                          f"branch to non-label {mutated.label!r}"),
+            )
+        if mutated.callee is not None \
+                and mutated.callee not in machine.functions:
+            return machine._finish(
+                RunStatus.TRAPPED,
+                GuestTrap(TrapKind.ILLEGAL,
+                          f"call to non-function {mutated.callee!r}"),
+            )
+        try:
+            final = machine.step_injected(mutated)
+        except GuestTrap as trap:
+            return machine._finish(RunStatus.TRAPPED, trap)
+        if final is not None:
+            return final
+        return machine.run(None)
+
+
+def run_opcode_campaign(
+    program: Program,
+    trials: int = 250,
+    seed: int = 0,
+    machine: Machine | None = None,
+) -> CampaignResult:
+    """An SEU campaign against instruction encodings instead of
+    registers; outcomes use the same unACE/SEGV/SDC taxonomy."""
+    injector = OpcodeFaultInjector(program, machine)
+    golden = golden_run(injector.machine)
+    if golden.status is not RunStatus.EXITED:
+        raise RuntimeError(f"golden run failed: {golden.status}")
+    result = CampaignResult(golden_instructions=golden.instructions)
+    rng = random.Random(seed)
+    for _ in range(trials):
+        site = OpcodeFaultSite(
+            dynamic_index=rng.randrange(golden.instructions),
+            bit=rng.randrange(64),
+        )
+        faulty = injector.run_with_fault(site)
+        result.record(classify(golden, faulty),
+                      recovered=faulty.recoveries > 0)
+    return result

@@ -1,0 +1,66 @@
+"""Small statistics helpers for fault-injection campaigns."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """A binomial proportion with a Wilson score confidence interval."""
+
+    successes: int
+    trials: int
+    confidence: float = 0.95
+
+    @property
+    def value(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.value
+
+    def wilson_interval(self) -> tuple[float, float]:
+        """(low, high) Wilson score interval for the proportion."""
+        if self.trials == 0:
+            return (0.0, 1.0)
+        z = _z_value(self.confidence)
+        n = self.trials
+        p = self.value
+        denom = 1 + z * z / n
+        centre = (p + z * z / (2 * n)) / denom
+        half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+        return (max(0.0, centre - half), min(1.0, centre + half))
+
+    def __str__(self) -> str:
+        low, high = self.wilson_interval()
+        return f"{self.percent:.2f}% [{100*low:.2f}, {100*high:.2f}]"
+
+
+def _z_value(confidence: float) -> float:
+    """Two-sided normal quantile for common confidence levels."""
+    table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    if confidence in table:
+        return table[confidence]
+    # Beasley-Springer-Moro style rational approximation is overkill
+    # here; fall back to a coarse bisection on erf.
+    target = 0.5 * (1 + confidence)
+    low, high = 0.0, 10.0
+    for _ in range(80):
+        mid = 0.5 * (low + high)
+        if 0.5 * (1 + math.erf(mid / math.sqrt(2))) < target:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the paper's Figure 9 aggregate)."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,110 @@
+"""The virtual ISA / compiler IR substrate.
+
+This package defines the instruction set the protection passes rewrite
+and the simulator executes: a three-address, 64-bit RISC with virtual
+and physical register files, basic blocks, functions, and programs, plus
+an assembler, a printer, a builder, and a structural verifier.
+"""
+
+from .block import BasicBlock
+from .encoding import (
+    EncodedFunction,
+    IllegalEncoding,
+    decode_instruction,
+    encode_function,
+    encode_instruction,
+    roundtrip_function,
+)
+from .builder import IRBuilder
+from .function import Function
+from .instruction import Instruction, Role, make_fli, make_li, make_mov
+from .opcodes import ANTransparency, Opcode, OpKind
+from .operands import FImm, Imm, MASK64, Operand, to_signed, to_unsigned
+from .parser import parse_instruction, parse_program
+from .printer import (
+    format_instruction,
+    print_block,
+    print_function,
+    print_instruction,
+    print_program,
+)
+from .program import (
+    GLOBAL_BASE,
+    GlobalVar,
+    HEAP_BASE,
+    HEAP_BYTES,
+    Program,
+    STACK_BYTES,
+    STACK_TOP,
+    WORD,
+)
+from .registers import (
+    NUM_FPRS,
+    NUM_GPRS,
+    Register,
+    RegisterPool,
+    SP,
+    allocatable_fprs,
+    allocatable_gprs,
+    fpr,
+    fvreg,
+    gpr,
+    parse_register,
+    vreg,
+)
+from .verify import verify_function, verify_program
+
+__all__ = [
+    "ANTransparency",
+    "BasicBlock",
+    "EncodedFunction",
+    "IllegalEncoding",
+    "FImm",
+    "Function",
+    "GLOBAL_BASE",
+    "GlobalVar",
+    "HEAP_BASE",
+    "HEAP_BYTES",
+    "IRBuilder",
+    "Imm",
+    "Instruction",
+    "MASK64",
+    "NUM_FPRS",
+    "NUM_GPRS",
+    "Opcode",
+    "OpKind",
+    "Operand",
+    "Program",
+    "Register",
+    "RegisterPool",
+    "Role",
+    "SP",
+    "STACK_BYTES",
+    "STACK_TOP",
+    "WORD",
+    "allocatable_fprs",
+    "decode_instruction",
+    "encode_function",
+    "encode_instruction",
+    "roundtrip_function",
+    "allocatable_gprs",
+    "format_instruction",
+    "fpr",
+    "fvreg",
+    "gpr",
+    "make_fli",
+    "make_li",
+    "make_mov",
+    "parse_instruction",
+    "parse_program",
+    "parse_register",
+    "print_block",
+    "print_function",
+    "print_instruction",
+    "print_program",
+    "to_signed",
+    "to_unsigned",
+    "verify_function",
+    "verify_program",
+    "vreg",
+]

@@ -1,0 +1,68 @@
+"""Basic blocks: straight-line instruction sequences with one terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .instruction import Instruction
+from .opcodes import OpKind
+
+
+class BasicBlock:
+    """A named, single-entry straight-line sequence of instructions.
+
+    Layout order inside a :class:`Function` is meaningful: a conditional
+    branch falls through to the next block in layout order when not taken.
+    The verifier requires the final instruction of every block to be a
+    terminator (branch, jump, or return).
+    """
+
+    __slots__ = ("name", "instructions")
+
+    def __init__(self, name: str, instructions: list[Instruction] | None = None):
+        self.name = name
+        self.instructions: list[Instruction] = instructions or []
+
+    def append(self, instr: Instruction) -> Instruction:
+        self.instructions.append(instr)
+        return instr
+
+    def extend(self, instrs: list[Instruction]) -> None:
+        self.instructions.extend(instrs)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The final instruction if it is a terminator, else ``None``."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> list[Instruction]:
+        """Instructions excluding the terminator (if present)."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def branch_targets(self) -> Iterator[str]:
+        """Labels this block can jump to (excluding fallthrough)."""
+        term = self.terminator
+        if term is not None and term.label is not None:
+            yield term.label
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control may continue to the next block in layout order."""
+        term = self.terminator
+        if term is None:
+            return True  # malformed, but be permissive pre-verification
+        return term.op.kind == OpKind.BRANCH
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name}: {len(self.instructions)} instrs>"

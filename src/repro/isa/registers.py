@@ -1,0 +1,194 @@
+"""Register objects for the virtual ISA.
+
+Two register classes exist, integer (GPR) and floating point (FPR), each
+in a *virtual* flavour (unbounded, produced by code generation and by the
+protection passes, which run before register allocation exactly as in the
+paper) and a *physical* flavour (``r0``..``r31`` / ``f0``..``f31``,
+produced by the linear-scan allocator and executed by the simulator).
+
+Register objects are interned: ``gpr(3) is gpr(3)``, so identity can be
+used for equality and registers can key dictionaries cheaply in the hot
+paths of the simulator and the dataflow analyses.
+
+Convention (mirroring the paper's PPC970 setup):
+
+* ``r1`` is the stack pointer.  The paper's infrastructure could not
+  protect the stack pointer and excluded it from fault injection; ours
+  emits unprotected frame/spill code through ``r1`` and likewise excludes
+  it (see :mod:`repro.faults.model`).
+* There is no TOC register in this ISA.
+* FP registers are neither duplicated nor injected (paper Section 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Number of architectural registers per class (PPC970 has 32 GPRs).
+NUM_GPRS = 32
+NUM_FPRS = 32
+
+#: Index of the stack pointer within the GPR file.
+STACK_POINTER_INDEX = 1
+
+
+class Register:
+    """A single (class, flavour, index) register, interned."""
+
+    __slots__ = ("cls", "is_virtual", "index", "_name")
+
+    _interned: dict[tuple[str, bool, int], "Register"] = {}
+
+    GPR_CLASS = "int"
+    FPR_CLASS = "float"
+
+    def __new__(cls, reg_class: str, is_virtual: bool, index: int) -> "Register":
+        key = (reg_class, is_virtual, index)
+        existing = cls._interned.get(key)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
+        self.cls = reg_class
+        self.is_virtual = is_virtual
+        self.index = index
+        if reg_class == cls.GPR_CLASS:
+            self._name = (f"v{index}" if is_virtual else f"r{index}")
+        else:
+            self._name = (f"fv{index}" if is_virtual else f"f{index}")
+        cls._interned[key] = self
+        return self
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def is_int(self) -> bool:
+        return self.cls == Register.GPR_CLASS
+
+    @property
+    def is_float(self) -> bool:
+        return self.cls == Register.FPR_CLASS
+
+    @property
+    def is_physical(self) -> bool:
+        return not self.is_virtual
+
+    @property
+    def is_stack_pointer(self) -> bool:
+        return (
+            not self.is_virtual
+            and self.cls == Register.GPR_CLASS
+            and self.index == STACK_POINTER_INDEX
+        )
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __hash__(self) -> int:
+        return hash((self.cls, self.is_virtual, self.index))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    # Interned objects survive deepcopy as themselves.
+    def __deepcopy__(self, memo: dict) -> "Register":
+        return self
+
+    def __copy__(self) -> "Register":
+        return self
+
+
+def gpr(index: int) -> Register:
+    """The physical integer register ``r<index>``."""
+    if not 0 <= index < NUM_GPRS:
+        raise ValueError(f"GPR index out of range: {index}")
+    return Register(Register.GPR_CLASS, False, index)
+
+
+def fpr(index: int) -> Register:
+    """The physical floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FPRS:
+        raise ValueError(f"FPR index out of range: {index}")
+    return Register(Register.FPR_CLASS, False, index)
+
+
+def vreg(index: int) -> Register:
+    """The virtual integer register ``v<index>``."""
+    return Register(Register.GPR_CLASS, True, index)
+
+
+def fvreg(index: int) -> Register:
+    """The virtual floating-point register ``fv<index>``."""
+    return Register(Register.FPR_CLASS, True, index)
+
+
+#: The stack pointer register object.
+SP = gpr(STACK_POINTER_INDEX)
+
+
+def parse_register(text: str) -> Register:
+    """Parse a register name (``r5``, ``v12``, ``f3``, ``fv7``)."""
+    if text.startswith("fv"):
+        return fvreg(int(text[2:]))
+    if text.startswith("f"):
+        return fpr(int(text[1:]))
+    if text.startswith("v"):
+        return vreg(int(text[1:]))
+    if text.startswith("r"):
+        return gpr(int(text[1:]))
+    raise ValueError(f"not a register name: {text!r}")
+
+
+class RegisterPool:
+    """Hands out fresh virtual registers; one per :class:`Function`."""
+
+    __slots__ = ("_next_int", "_next_float")
+
+    def __init__(self, next_int: int = 0, next_float: int = 0) -> None:
+        self._next_int = next_int
+        self._next_float = next_float
+
+    def new_int(self) -> Register:
+        reg = vreg(self._next_int)
+        self._next_int += 1
+        return reg
+
+    def new_float(self) -> Register:
+        reg = fvreg(self._next_float)
+        self._next_float += 1
+        return reg
+
+    def new_like(self, model: Register) -> Register:
+        """A fresh virtual register of the same class as ``model``."""
+        if model.is_float:
+            return self.new_float()
+        return self.new_int()
+
+    @property
+    def num_int(self) -> int:
+        return self._next_int
+
+    @property
+    def num_float(self) -> int:
+        return self._next_float
+
+    def reserve_at_least(self, num_int: int, num_float: int = 0) -> None:
+        """Ensure future registers do not collide with indices below these."""
+        self._next_int = max(self._next_int, num_int)
+        self._next_float = max(self._next_float, num_float)
+
+
+def all_physical_gprs() -> Iterator[Register]:
+    """All physical integer registers, in index order."""
+    for i in range(NUM_GPRS):
+        yield gpr(i)
+
+
+def allocatable_gprs() -> list[Register]:
+    """Physical GPRs the register allocator may use (everything but SP)."""
+    return [gpr(i) for i in range(NUM_GPRS) if i != STACK_POINTER_INDEX]
+
+
+def allocatable_fprs() -> list[Register]:
+    return [fpr(i) for i in range(NUM_FPRS)]

@@ -1,0 +1,20 @@
+"""Mini-C: the benchmark source language and its compiler.
+
+This package stands in for the paper's gcc 3.4.1 substrate: benchmarks
+are written in a typed C subset and compiled to the virtual ISA, after
+which the protection passes and the register allocator run exactly as
+the paper's backend phases do.
+"""
+
+from .codegen import Compiler, compile_source
+from .cparser import parse
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = [
+    "Compiler",
+    "Token",
+    "TokenKind",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

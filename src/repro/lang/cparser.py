@@ -1,0 +1,385 @@
+"""Recursive-descent parser for mini-C.
+
+Grammar (C subset; one level of pointers, no structs, no macros)::
+
+    unit      := (global | function)*
+    global    := type IDENT ("[" INT "]")? ("=" ginit)? ";"
+    ginit     := const | "{" const ("," const)* "}"
+    function  := type IDENT "(" (param ("," param)*)? ")" block
+    param     := type IDENT
+    type      := ("int" | "long" | "float" | "void") "*"?
+    block     := "{" stmt* "}"
+    stmt      := block | if | while | do-while | for | "break" ";"
+               | "continue" ";" | "return" expr? ";" | decl | expr ";"
+    decl      := type IDENT ("[" INT "]")? ("=" expr)? ";"
+
+Expressions use the usual C precedence; assignment and compound
+assignment are expressions; ``++``/``--`` are supported pre- and
+postfix on simple lvalues.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import cast as ast
+from .lexer import Token, TokenKind, tokenize
+
+_TYPE_KEYWORDS = ("int", "long", "float", "void")
+
+#: Binary precedence table: operator -> (level, right_assoc).
+_BINARY_LEVELS = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # --------------------------------------------------------------- plumbing
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check_op(self, text: str) -> bool:
+        return self.current.kind is TokenKind.OP and self.current.text == text
+
+    def accept_op(self, text: str) -> bool:
+        if self.check_op(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, text: str) -> Token:
+        if not self.check_op(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.current.text!r}",
+                self.current.line, self.current.column,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {self.current.text!r}",
+                self.current.line, self.current.column,
+            )
+        return self.advance()
+
+    def at_type(self) -> bool:
+        return (self.current.kind is TokenKind.KEYWORD
+                and self.current.text in _TYPE_KEYWORDS)
+
+    # ------------------------------------------------------------------ types
+    def parse_type(self) -> ast.Type:
+        token = self.advance()
+        if token.text not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected a type, found {token.text!r}",
+                             token.line, token.column)
+        ty = ast.Type(token.text)
+        if self.accept_op("*"):
+            ty = ty.pointer_to()
+        return ty
+
+    # -------------------------------------------------------------- top level
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.current.kind is not TokenKind.EOF:
+            ty = self.parse_type()
+            name = self.expect_ident()
+            if self.check_op("("):
+                unit.functions.append(self._parse_function(ty, name))
+            else:
+                unit.globals.append(self._parse_global(ty, name))
+        return unit
+
+    def _parse_global(self, ty: ast.Type, name: Token) -> ast.GlobalDecl:
+        decl = ast.GlobalDecl(name.text, ty, line=name.line)
+        if self.accept_op("["):
+            decl.array_size = self._const_int()
+            self.expect_op("]")
+        if self.accept_op("="):
+            if self.accept_op("{"):
+                decl.init.append(self._const_value(ty))
+                while self.accept_op(","):
+                    decl.init.append(self._const_value(ty))
+                self.expect_op("}")
+            else:
+                decl.init.append(self._const_value(ty))
+        self.expect_op(";")
+        return decl
+
+    def _const_int(self) -> int:
+        negative = self.accept_op("-")
+        token = self.advance()
+        if token.kind is not TokenKind.INT:
+            raise ParseError("expected integer constant", token.line,
+                             token.column)
+        return -token.int_value if negative else token.int_value
+
+    def _const_value(self, ty: ast.Type) -> int | float:
+        negative = self.accept_op("-")
+        token = self.advance()
+        if token.kind is TokenKind.INT:
+            value: int | float = token.int_value
+            if ty.is_float:
+                value = float(value)
+        elif token.kind is TokenKind.FLOAT:
+            if not ty.is_float:
+                raise ParseError("float initializer for integer global",
+                                 token.line, token.column)
+            value = token.float_value
+        else:
+            raise ParseError("expected constant", token.line, token.column)
+        return -value if negative else value
+
+    def _parse_function(self, ty: ast.Type, name: Token) -> ast.FunctionDef:
+        self.expect_op("(")
+        params: list[ast.Param] = []
+        if not self.check_op(")"):
+            while True:
+                if self.at_type() and self.current.text == "void" \
+                        and self.peek().kind is TokenKind.OP \
+                        and self.peek().text == ")":
+                    self.advance()
+                    break
+                pty = self.parse_type()
+                pname = self.expect_ident()
+                params.append(ast.Param(pname.text, pty, pname.line))
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.FunctionDef(name.text, ty, params, body, line=name.line)
+
+    # ------------------------------------------------------------- statements
+    def parse_block(self) -> ast.Block:
+        start = self.expect_op("{")
+        block = ast.Block(line=start.line)
+        while not self.check_op("}"):
+            if self.current.kind is TokenKind.EOF:
+                raise ParseError("unterminated block", start.line,
+                                 start.column)
+            block.statements.append(self.parse_statement())
+        self.expect_op("}")
+        return block
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if self.check_op("{"):
+            return self.parse_block()
+        if token.kind is TokenKind.KEYWORD:
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "do":
+                return self._parse_do_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "break":
+                self.advance()
+                self.expect_op(";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect_op(";")
+                return ast.Continue(line=token.line)
+            if token.text == "return":
+                self.advance()
+                value = None if self.check_op(";") else self.parse_expr()
+                self.expect_op(";")
+                return ast.Return(line=token.line, value=value)
+            if token.text in _TYPE_KEYWORDS:
+                return self._parse_decl()
+        expr = self.parse_expr()
+        self.expect_op(";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_decl(self) -> ast.VarDecl:
+        ty = self.parse_type()
+        name = self.expect_ident()
+        decl = ast.VarDecl(line=name.line, name=name.text, type=ty)
+        if self.accept_op("["):
+            decl.array_size = self._const_int()
+            self.expect_op("]")
+        if self.accept_op("="):
+            decl.init = self.parse_expr()
+        self.expect_op(";")
+        return decl
+
+    def _parse_if(self) -> ast.If:
+        token = self.advance()
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        then = self.parse_statement()
+        otherwise = None
+        if (self.current.kind is TokenKind.KEYWORD
+                and self.current.text == "else"):
+            self.advance()
+            otherwise = self.parse_statement()
+        return ast.If(line=token.line, cond=cond, then=then,
+                      otherwise=otherwise)
+
+    def _parse_while(self) -> ast.While:
+        token = self.advance()
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.While:
+        token = self.advance()
+        body = self.parse_statement()
+        if not (self.current.kind is TokenKind.KEYWORD
+                and self.current.text == "while"):
+            raise ParseError("expected 'while' after do-body",
+                             self.current.line, self.current.column)
+        self.advance()
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.While(line=token.line, cond=cond, body=body,
+                         is_do_while=True)
+
+    def _parse_for(self) -> ast.For:
+        token = self.advance()
+        self.expect_op("(")
+        init: ast.Stmt | None = None
+        if not self.check_op(";"):
+            if self.at_type():
+                init = self._parse_decl()
+            else:
+                expr = self.parse_expr()
+                self.expect_op(";")
+                init = ast.ExprStmt(line=token.line, expr=expr)
+        else:
+            self.expect_op(";")
+        cond = None if self.check_op(";") else self.parse_expr()
+        self.expect_op(";")
+        step = None if self.check_op(")") else self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.For(line=token.line, init=init, cond=cond, step=step,
+                       body=body)
+
+    # ------------------------------------------------------------ expressions
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        if (self.current.kind is TokenKind.OP
+                and self.current.text in _ASSIGN_OPS):
+            op = self.advance()
+            value = self._parse_assignment()
+            return ast.Assign(line=op.line, op=op.text, target=left,
+                              value=value)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.accept_op("?"):
+            then = self.parse_expr()
+            self.expect_op(":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(line=cond.line, cond=cond, then=then,
+                                   otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, min_level: int) -> ast.Expr:
+        left = self._parse_unary()
+        while (self.current.kind is TokenKind.OP
+               and _BINARY_LEVELS.get(self.current.text, 0) >= min_level):
+            op = self.advance()
+            level = _BINARY_LEVELS[op.text]
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(line=op.line, op=op.text, left=left,
+                              right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.OP:
+            if token.text in ("-", "!", "~", "*", "&", "++", "--"):
+                self.advance()
+                operand = self._parse_unary()
+                return ast.Unary(line=token.line, op=token.text,
+                                 operand=operand)
+            if token.text == "(" and self.peek().kind is TokenKind.KEYWORD \
+                    and self.peek().text in _TYPE_KEYWORDS:
+                self.advance()
+                ty = self.parse_type()
+                self.expect_op(")")
+                operand = self._parse_unary()
+                return ast.Cast(line=token.line, target=ty, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept_op("["):
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = ast.Index(line=expr.line, base=expr, index=index)
+            elif (self.current.kind is TokenKind.OP
+                  and self.current.text in ("++", "--")):
+                op = self.advance()
+                expr = ast.Postfix(line=op.line, op=op.text, operand=expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.advance()
+        if token.kind is TokenKind.INT:
+            return ast.IntLit(line=token.line, value=token.int_value)
+        if token.kind is TokenKind.FLOAT:
+            return ast.FloatLit(line=token.line, value=token.float_value)
+        if token.kind is TokenKind.IDENT:
+            if self.check_op("("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.check_op(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return ast.Call(line=token.line, callee=token.text, args=args)
+            return ast.Name(line=token.line, ident=token.text)
+        if token.kind is TokenKind.OP and token.text == "(":
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line,
+                         token.column)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse mini-C source text into an AST."""
+    return Parser(source).parse_unit()

@@ -1,0 +1,160 @@
+"""Lexer for mini-C, the benchmark source language.
+
+Mini-C is the substrate standing in for the paper's gcc + C benchmarks:
+a small, typed, C-like language compiled straight to the virtual ISA.
+See :mod:`repro.lang.cparser` for the grammar.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "long",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "break",
+        "continue",
+        "return",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_OPS = (
+    "<<=", ">>=",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+)
+
+SINGLE_OPS = "+-*/%<>=!&|^~?:;,(){}[]"
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def int_value(self) -> int:
+        return int(self.text, 0)
+
+    @property
+    def float_value(self) -> float:
+        return float(self.text)
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert mini-C source text into a token list ending with EOF."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise ParseError("unterminated block comment", line, col)
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i].isdigit()
+                                 or source[i] in "abcdefABCDEF"):
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                if i < n and source[i] == ".":
+                    is_float = True
+                    i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+                if i < n and source[i] in "eE":
+                    is_float = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            kind = TokenKind.FLOAT if is_float else TokenKind.INT
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # Operators.
+        for op in MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            if ch in SINGLE_OPS:
+                tokens.append(Token(TokenKind.OP, ch, line, col))
+                i += 1
+                col += 1
+            else:
+                raise ParseError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,26 @@
+"""Architectural simulator: functional interpreter plus timing model."""
+
+from .events import GuestTrap, RunResult, RunStatus, TrapKind
+from .machine import Machine, run_program
+from .memory import Memory, bits_to_float, float_to_bits
+from .timing import TimingConfig, TimingResult, TimingSimulator, measure_cycles
+from .trace import TraceEntry, format_trace, trace_execution
+
+__all__ = [
+    "GuestTrap",
+    "Machine",
+    "Memory",
+    "RunResult",
+    "RunStatus",
+    "TimingConfig",
+    "TimingResult",
+    "TimingSimulator",
+    "TraceEntry",
+    "TrapKind",
+    "bits_to_float",
+    "float_to_bits",
+    "format_trace",
+    "measure_cycles",
+    "run_program",
+    "trace_execution",
+]

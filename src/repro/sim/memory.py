@@ -1,0 +1,112 @@
+"""Guest memory: sparse 8-byte-word storage with segment protection.
+
+The address space is deliberately sparse (see :mod:`repro.isa.program`)
+so that a corrupted address register usually lands outside every mapped
+segment and the access faults -- the dominant NOFT failure mode in the
+paper.  Memory contents themselves are assumed ECC-protected and are
+never a fault-injection target (paper Section 2.2).
+
+Integer stores keep Python ints; float stores keep Python floats.  The
+two views are reconciled bit-exactly on a type-mismatched access (which
+only happens under injected faults or deliberate type punning) via IEEE
+bit patterns.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..isa.program import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    HEAP_BYTES,
+    Program,
+    STACK_BYTES,
+    STACK_TOP,
+    WORD,
+)
+from .events import GuestTrap, TrapKind
+
+
+def float_to_bits(value: float) -> int:
+    return int.from_bytes(struct.pack("<d", value), "little")
+
+
+def bits_to_float(value: int) -> float:
+    return struct.unpack("<d", (value & ((1 << 64) - 1)).to_bytes(8, "little"))[0]
+
+
+class Memory:
+    """Sparse word-addressed memory with three mapped segments."""
+
+    __slots__ = ("cells", "global_lo", "global_hi", "heap_lo", "heap_hi",
+                 "stack_lo", "stack_hi")
+
+    def __init__(self, global_bytes: int) -> None:
+        self.cells: dict[int, int | float] = {}
+        self.global_lo = GLOBAL_BASE
+        self.global_hi = GLOBAL_BASE + max(global_bytes, WORD)
+        self.heap_lo = HEAP_BASE
+        self.heap_hi = HEAP_BASE + HEAP_BYTES
+        self.stack_lo = STACK_TOP - STACK_BYTES
+        self.stack_hi = STACK_TOP
+
+    @classmethod
+    def for_program(cls, program: Program) -> "Memory":
+        program.assign_addresses()
+        mem = cls(program.global_segment_bytes())
+        for var in program.globals.values():
+            for i, value in enumerate(var.init):
+                mem.cells[var.address + i * WORD] = value
+        return mem
+
+    # ------------------------------------------------------------- validation
+    def check(self, addr: int) -> None:
+        """Raise a segfault trap unless ``addr`` is a mapped, aligned word."""
+        if addr & 7:
+            raise GuestTrap(TrapKind.SEGFAULT, f"misaligned access 0x{addr:x}")
+        if not (
+            self.global_lo <= addr < self.global_hi
+            or self.heap_lo <= addr < self.heap_hi
+            or self.stack_lo <= addr < self.stack_hi
+        ):
+            raise GuestTrap(TrapKind.SEGFAULT, f"unmapped access 0x{addr:x}")
+
+    def is_valid(self, addr: int) -> bool:
+        if addr & 7:
+            return False
+        return (
+            self.global_lo <= addr < self.global_hi
+            or self.heap_lo <= addr < self.heap_hi
+            or self.stack_lo <= addr < self.stack_hi
+        )
+
+    # ------------------------------------------------------------ typed access
+    def load_int(self, addr: int) -> int:
+        self.check(addr)
+        value = self.cells.get(addr, 0)
+        if type(value) is float:
+            return float_to_bits(value)
+        return value
+
+    def load_float(self, addr: int) -> float:
+        self.check(addr)
+        value = self.cells.get(addr, 0)
+        if type(value) is float:
+            return value
+        return bits_to_float(value)
+
+    def store_int(self, addr: int, value: int) -> None:
+        self.check(addr)
+        self.cells[addr] = value & ((1 << 64) - 1)
+
+    def store_float(self, addr: int, value: float) -> None:
+        self.check(addr)
+        self.cells[addr] = float(value)
+
+    # ------------------------------------------------------------------- misc
+    def snapshot(self) -> dict[int, int | float]:
+        return dict(self.cells)
+
+    def words_used(self) -> int:
+        return len(self.cells)

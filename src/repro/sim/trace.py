@@ -1,0 +1,82 @@
+"""Execution tracing for debugging guest programs and passes.
+
+Produces a bounded, human-readable trace of executed instructions with
+destination values -- the tool you want when a protection pass
+mis-transforms something and the only symptom is a wrong checksum
+100,000 instructions later.  Uses the machine's precise pause/resume,
+so it works on any program the machine can run (including mid-campaign
+reproductions of a specific fault).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.printer import format_instruction
+from .events import RunResult, RunStatus
+from .machine import Machine
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed instruction."""
+
+    index: int               # dynamic instruction number (0-based)
+    function: str
+    block: str
+    text: str                # disassembled instruction
+    dest: str | None         # destination register name
+    value: int | float | None   # value written (post-execution)
+
+    def __str__(self) -> str:
+        location = f"{self.function}/{self.block}"
+        line = f"{self.index:6d}  {location:24s} {self.text}"
+        if self.dest is not None:
+            line += f"    # {self.dest} <- {self.value}"
+        return line
+
+
+def trace_execution(
+    machine: Machine,
+    limit: int = 2000,
+    start: int = 0,
+) -> tuple[list[TraceEntry], RunResult]:
+    """Run from reset, recording up to ``limit`` entries from dynamic
+    instruction ``start`` onwards.  Returns (entries, final result)."""
+    machine.reset()
+    result = machine.run(start)
+    entries: list[TraceEntry] = []
+    while result.status is RunStatus.PAUSED and len(entries) < limit:
+        position = machine._position
+        func, block_idx, instr_idx = position
+        block = func.blocks[block_idx]
+        instr = block.instrs[instr_idx]
+        index = machine.icount
+        result = machine.run(index + 1)
+        dest_name = None
+        value: int | float | None = None
+        if instr.dest is not None:
+            dest_name = instr.dest.name
+            # Virtual-register slots are scoped by function name.
+            machine._current_function = func.name
+            slot = machine.slot_of(instr.dest)
+            if instr.dest.is_float:
+                value = machine.fregs[slot]
+            else:
+                raw = machine.regs[slot]
+                value = raw - (1 << 64) if raw >= (1 << 63) else raw
+        entries.append(TraceEntry(
+            index=index,
+            function=func.name,
+            block=block.name,
+            text=format_instruction(instr),
+            dest=dest_name,
+            value=value,
+        ))
+    if result.status is RunStatus.PAUSED:
+        result = machine.run(None)
+    return entries, result
+
+
+def format_trace(entries: list[TraceEntry]) -> str:
+    return "\n".join(str(entry) for entry in entries)

@@ -1,0 +1,91 @@
+"""The paper's contribution: compiler-level protection passes."""
+
+from .controlflow import apply_cfc, cfc_function, count_cfc_checks
+from .base import clone_function, clone_program, pipeline, transform_program
+from .engine import (
+    DuplicationEngine,
+    Form,
+    ProtectionConfig,
+    REENCODE_OPS,
+    ShadowAssignment,
+    VoteStyle,
+    uniform_assignment,
+)
+from .hybrid import apply_trump_mask, apply_trump_swiftr
+from .mask import apply_mask, count_masks, mask_function
+from .optimize import (
+    eliminate_dead_code,
+    fold_constants,
+    local_cse,
+    optimize_function,
+    optimize_program,
+    propagate_copies,
+)
+from .protect import PAPER_TECHNIQUES, Technique, protect
+from .regalloc import (
+    AllocationStats,
+    allocate_function,
+    allocate_program,
+    allocation_stats,
+)
+from .scheduling import (
+    SchedulePolicy,
+    schedule_block,
+    schedule_function,
+    schedule_program,
+)
+from .swift import apply_swift, swift_function
+from .swiftr import apply_swiftr, swiftr_function
+from .trump import (
+    apply_trump,
+    compute_an_candidates,
+    coverage_report,
+    trump_function,
+)
+
+__all__ = [
+    "AllocationStats",
+    "DuplicationEngine",
+    "Form",
+    "PAPER_TECHNIQUES",
+    "ProtectionConfig",
+    "REENCODE_OPS",
+    "SchedulePolicy",
+    "ShadowAssignment",
+    "Technique",
+    "VoteStyle",
+    "schedule_block",
+    "schedule_function",
+    "schedule_program",
+    "allocate_function",
+    "allocate_program",
+    "allocation_stats",
+    "apply_cfc",
+    "apply_mask",
+    "apply_swift",
+    "apply_swiftr",
+    "apply_trump",
+    "apply_trump_mask",
+    "apply_trump_swiftr",
+    "cfc_function",
+    "clone_function",
+    "clone_program",
+    "compute_an_candidates",
+    "count_cfc_checks",
+    "count_masks",
+    "eliminate_dead_code",
+    "fold_constants",
+    "local_cse",
+    "optimize_function",
+    "optimize_program",
+    "propagate_copies",
+    "coverage_report",
+    "mask_function",
+    "pipeline",
+    "protect",
+    "swift_function",
+    "swiftr_function",
+    "transform_program",
+    "trump_function",
+    "uniform_assignment",
+]

@@ -1,0 +1,72 @@
+"""Pass infrastructure shared by all program transformations."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..isa.function import Function
+from ..isa.program import Program
+from ..isa.verify import verify_program
+
+#: A function-level transformation: old function -> new function.
+FunctionTransform = Callable[[Function, Program], Function]
+
+
+def clone_function_shell(function: Function) -> Function:
+    """A new empty function with the same signature and a safe pool."""
+    function.renumber_pool()
+    shell = Function(
+        function.name,
+        num_params=function.num_params,
+        returns_float=function.returns_float,
+        param_is_float=function.param_is_float,
+    )
+    shell.pool.reserve_at_least(function.pool.num_int, function.pool.num_float)
+    shell.reserve_labels({blk.name for blk in function.blocks})
+    return shell
+
+
+def clone_function(function: Function) -> Function:
+    """A deep-enough copy: new blocks and instruction objects."""
+    shell = clone_function_shell(function)
+    for blk in function.blocks:
+        new_blk = shell.add_block(blk.name)
+        new_blk.extend([instr.clone() for instr in blk.instructions])
+    return shell
+
+
+def clone_program(program: Program) -> Program:
+    new = Program(entry=program.entry)
+    for var in program.globals.values():
+        new.add_global(var.name, var.num_words, var.init, is_float=var.is_float)
+    for fn in program:
+        new.add_function(clone_function(fn))
+    new.assign_addresses()
+    return new
+
+
+def transform_program(
+    program: Program,
+    fn_transform: FunctionTransform,
+    verify: bool = True,
+) -> Program:
+    """Apply a function transform to every function, yielding a new program."""
+    new = Program(entry=program.entry)
+    for var in program.globals.values():
+        new.add_global(var.name, var.num_words, var.init, is_float=var.is_float)
+    for fn in program:
+        new.add_function(fn_transform(fn, program))
+    new.assign_addresses()
+    if verify:
+        verify_program(new)
+    return new
+
+
+def pipeline(
+    program: Program,
+    transforms: Iterable[Callable[[Program], Program]],
+) -> Program:
+    """Compose whole-program transforms left to right."""
+    for transform in transforms:
+        program = transform(program)
+    return program

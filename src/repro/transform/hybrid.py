@@ -1,0 +1,66 @@
+"""Hybrid techniques (paper Section 6).
+
+* **TRUMP/SWIFT-R** -- TRUMP wherever its applicability analysis allows,
+  SWIFT-R everywhere else, with the one-way SWIFT-R -> TRUMP redundancy
+  conversion (``rt = 2*r' + r''``, Figure 7) at chain transitions.
+* **TRUMP/MASK** -- TRUMP plus MASK on the chains TRUMP cannot protect.
+  MASK is applied only to the original code, never to TRUMP's redundant
+  instructions (Section 6.2), and only to registers outside TRUMP's
+  coverage, which the paper notes are near-disjoint sets anyway.
+
+SWIFT-R/MASK and TRUMP/SWIFT-R/MASK are deliberately *not* provided:
+the paper argues (Section 6.3) that MASK cannot shrink any of SWIFT-R's
+windows of vulnerability, so those combinations add cost for no benefit.
+"""
+
+from __future__ import annotations
+
+from ..isa.function import Function
+from ..isa.program import Program
+from .base import transform_program
+from .engine import ProtectionConfig
+from .mask import MIN_MASKED_BITS, mask_function
+from .trump import compute_an_candidates, trump_function
+
+
+def trump_swiftr_function(
+    function: Function,
+    program: Program,
+    config: ProtectionConfig | None = None,
+) -> Function:
+    """TRUMP on covered chains, SWIFT-R on the rest (one function)."""
+    return trump_function(function, program, config, hybrid=True)
+
+
+def apply_trump_swiftr(
+    program: Program, config: ProtectionConfig | None = None
+) -> Program:
+    """Apply the TRUMP/SWIFT-R hybrid to every function."""
+    return transform_program(
+        program, lambda fn, prog: trump_swiftr_function(fn, prog, config)
+    )
+
+
+def apply_trump_mask(
+    program: Program,
+    config: ProtectionConfig | None = None,
+    min_bits: int = MIN_MASKED_BITS,
+) -> Program:
+    """Apply the TRUMP/MASK hybrid to every function.
+
+    MASK runs first, restricted to registers TRUMP cannot cover, so the
+    inserted ``and`` instructions are part of the "original" code; TRUMP
+    then duplicates around them exactly as it would have anyway (masked
+    registers are never AN-codable: their chains contain logical ops).
+    """
+
+    def masked(fn: Function, prog: Program) -> Function:
+        candidates = compute_an_candidates(fn, config)
+        return mask_function(
+            fn, prog, skip=lambda reg: reg in candidates, min_bits=min_bits
+        )
+
+    with_masks = transform_program(program, masked)
+    return transform_program(
+        with_masks, lambda fn, prog: trump_function(fn, prog, config)
+    )

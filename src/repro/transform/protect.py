@@ -1,0 +1,96 @@
+"""Top-level protection API: one call, one technique.
+
+This is the user-facing entry point mirroring the paper's evaluated
+configurations (Figure 8/9 legends): NOFT, MASK, TRUMP, TRUMP/MASK,
+TRUMP/SWIFT-R, SWIFT-R -- plus SWIFT, the detection-only baseline the
+recovery schemes extend.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..isa.program import Program
+from .base import clone_program
+from .engine import ProtectionConfig
+from .hybrid import apply_trump_mask, apply_trump_swiftr
+from .mask import apply_mask
+from .swift import apply_swift
+from .swiftr import apply_swiftr
+from .trump import apply_trump
+
+
+class Technique(enum.Enum):
+    """The protection configurations evaluated in the paper."""
+
+    NOFT = "noft"                    # no fault tolerance (baseline)
+    MASK = "mask"
+    TRUMP = "trump"
+    TRUMP_MASK = "trump+mask"
+    TRUMP_SWIFTR = "trump+swiftr"
+    SWIFTR = "swiftr"
+    SWIFT = "swift"                  # detection-only (background, Sec. 2.2)
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+    @property
+    def recovers(self) -> bool:
+        """Can this technique repair (not merely detect) faults?"""
+        return self in (
+            Technique.SWIFTR,
+            Technique.TRUMP,
+            Technique.TRUMP_MASK,
+            Technique.TRUMP_SWIFTR,
+        )
+
+
+_LABELS = {
+    Technique.NOFT: "NOFT",
+    Technique.MASK: "MASK",
+    Technique.TRUMP: "TRUMP",
+    Technique.TRUMP_MASK: "TRUMP/MASK",
+    Technique.TRUMP_SWIFTR: "TRUMP/SWIFT-R",
+    Technique.SWIFTR: "SWIFT-R",
+    Technique.SWIFT: "SWIFT",
+}
+
+#: The six configurations of Figures 8 and 9, in the paper's order.
+PAPER_TECHNIQUES = (
+    Technique.NOFT,
+    Technique.MASK,
+    Technique.TRUMP,
+    Technique.TRUMP_MASK,
+    Technique.TRUMP_SWIFTR,
+    Technique.SWIFTR,
+)
+
+
+def protect(
+    program: Program,
+    technique: Technique,
+    config: ProtectionConfig | None = None,
+) -> Program:
+    """Return a new program protected with ``technique``.
+
+    The input program must use virtual registers (protection runs before
+    register allocation, as in the paper); apply
+    :func:`repro.transform.regalloc.allocate_program` afterwards to
+    obtain executable physical-register code.
+    """
+    if technique is Technique.NOFT:
+        return clone_program(program)
+    if technique is Technique.MASK:
+        return apply_mask(program)
+    if technique is Technique.TRUMP:
+        return apply_trump(program, config)
+    if technique is Technique.TRUMP_MASK:
+        return apply_trump_mask(program, config)
+    if technique is Technique.TRUMP_SWIFTR:
+        return apply_trump_swiftr(program, config)
+    if technique is Technique.SWIFTR:
+        return apply_swiftr(program, config)
+    if technique is Technique.SWIFT:
+        return apply_swift(program, config)
+    raise ValueError(f"unknown technique {technique!r}")

@@ -1,0 +1,163 @@
+"""Local list scheduling (ILP vs check-placement ablation).
+
+The paper notes two opposing forces (Sections 2.2, 3.2, 7.1): an
+optimising scheduler interleaves the redundant instruction streams to
+soak up spare ILP, but moving *validation* code away from the use it
+guards widens the window of vulnerability ("the reliability could be
+further improved ... if the compiler were forced to move the checks as
+close as possible to the uses").
+
+This pass implements a latency-aware greedy list scheduler over each
+basic block's dependence DAG with two priority policies:
+
+* ``ILP``          -- critical-path height first (classic),
+* ``CHECKS_LATE``  -- same, but validation/vote instructions sink as
+  late as their dependences allow, keeping them adjacent to the
+  guarded operation.
+
+``benchmarks/bench_ablation_schedule.py`` measures the resulting
+reliability/performance trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..isa.block import BasicBlock
+from ..isa.function import Function
+from ..isa.instruction import Instruction, Role
+from ..isa.opcodes import OpKind
+from ..isa.program import Program
+from ..isa.registers import Register
+from .base import clone_function, transform_program
+
+
+class SchedulePolicy(enum.Enum):
+    ILP = "ilp"
+    CHECKS_LATE = "checks-late"
+
+
+#: Instructions that must not move at all (program order barriers).
+_BARRIER_KINDS = (OpKind.CALL, OpKind.RET, OpKind.IO, OpKind.PARAM)
+
+
+def _is_barrier(instr: Instruction) -> bool:
+    return instr.op.kind in _BARRIER_KINDS
+
+
+def _build_dag(instrs: list[Instruction]) -> list[list[int]]:
+    """Predecessor lists by index, from register and memory dependences."""
+    preds: list[set[int]] = [set() for _ in instrs]
+    last_def: dict[Register, int] = {}
+    last_uses: dict[Register, list[int]] = {}
+    last_mem: int | None = None
+    last_barrier: int | None = None
+    for i, instr in enumerate(instrs):
+        # Register dependences.
+        for reg in instr.source_registers():
+            if reg in last_def:
+                preds[i].add(last_def[reg])            # RAW
+        if instr.dest is not None:
+            reg = instr.dest
+            if reg in last_def:
+                preds[i].add(last_def[reg])            # WAW
+            for use in last_uses.get(reg, ()):
+                if use != i:
+                    preds[i].add(use)                  # WAR
+        # Memory ops stay in relative order (conservative).
+        if instr.reads_memory or instr.writes_memory:
+            if last_mem is not None:
+                preds[i].add(last_mem)
+            last_mem = i
+        # Barriers order against everything before them, and everything
+        # after orders against the barrier.
+        if last_barrier is not None:
+            preds[i].add(last_barrier)
+        if _is_barrier(instr):
+            preds[i].update(range(i))
+            last_barrier = i
+        # Bookkeeping.
+        for reg in instr.source_registers():
+            last_uses.setdefault(reg, []).append(i)
+        if instr.dest is not None:
+            last_def[instr.dest] = i
+            last_uses[instr.dest] = []
+    return [sorted(p) for p in preds]
+
+
+def _heights(instrs: list[Instruction], preds: list[list[int]]
+             ) -> list[int]:
+    succs: list[list[int]] = [[] for _ in instrs]
+    for i, plist in enumerate(preds):
+        for p in plist:
+            succs[p].append(i)
+    heights = [0] * len(instrs)
+    for i in range(len(instrs) - 1, -1, -1):
+        latency = instrs[i].op.info.latency
+        best = 0
+        for s in succs[i]:
+            best = max(best, heights[s])
+        heights[i] = best + latency
+    return heights
+
+
+_VALIDATION_ROLES = frozenset({Role.CHECK, Role.VOTE, Role.MASK})
+
+
+def schedule_block(block: BasicBlock,
+                   policy: SchedulePolicy = SchedulePolicy.ILP) -> None:
+    """Reorder one block's body in place (terminator stays last)."""
+    term = block.terminator
+    body = block.body
+    if len(body) < 2:
+        return
+    preds = _build_dag(body)
+    heights = _heights(body, preds)
+    remaining_preds = [set(p) for p in preds]
+    scheduled: list[Instruction] = []
+    ready = [i for i in range(len(body)) if not remaining_preds[i]]
+    succs: list[list[int]] = [[] for _ in body]
+    for i, plist in enumerate(preds):
+        for p in plist:
+            succs[p].append(i)
+
+    def priority(i: int) -> tuple:
+        if (policy is SchedulePolicy.CHECKS_LATE
+                and body[i].role in _VALIDATION_ROLES):
+            # Sink validation: lowest priority among ready instructions
+            # unless it is the only thing left on the critical path.
+            return (1, -heights[i], i)
+        return (0, -heights[i], i)
+
+    while ready:
+        ready.sort(key=priority)
+        chosen = ready.pop(0)
+        scheduled.append(body[chosen])
+        for s in succs[chosen]:
+            remaining_preds[s].discard(chosen)
+            if not remaining_preds[s]:
+                ready.append(s)
+    if term is not None:
+        scheduled.append(term)
+    block.instructions = scheduled
+
+
+def schedule_function(
+    function: Function,
+    program: Program | None = None,
+    policy: SchedulePolicy = SchedulePolicy.ILP,
+) -> Function:
+    """List-schedule every block of a function (returns a new function)."""
+    new_fn = clone_function(function)
+    for block in new_fn.blocks:
+        schedule_block(block, policy)
+    return new_fn
+
+
+def schedule_program(
+    program: Program,
+    policy: SchedulePolicy = SchedulePolicy.ILP,
+) -> Program:
+    return transform_program(
+        program, lambda fn, prog: schedule_function(fn, prog, policy)
+    )

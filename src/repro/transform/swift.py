@@ -1,0 +1,34 @@
+"""SWIFT: software-only fault *detection* (paper Section 2.2).
+
+Every integer computation is duplicated into a shadow register set;
+``bne r, r', faultDet`` checks guard loads, stores, branches, calls,
+returns, and program output.  SWIFT is the detection-only baseline the
+recovery techniques build on; a detected fault terminates the run with
+``RunStatus.DETECTED`` (a DUE in the hardware-reliability taxonomy).
+"""
+
+from __future__ import annotations
+
+from ..isa.function import Function
+from ..isa.program import Program
+from .base import transform_program
+from .engine import DuplicationEngine, Form, ProtectionConfig, uniform_assignment
+
+
+def swift_function(
+    function: Function,
+    program: Program,
+    config: ProtectionConfig | None = None,
+) -> Function:
+    """Apply SWIFT duplication + validation to one function."""
+    assignment = uniform_assignment(function, Form.DMR)
+    return DuplicationEngine(function, assignment, config).run()
+
+
+def apply_swift(
+    program: Program, config: ProtectionConfig | None = None
+) -> Program:
+    """Apply SWIFT to every function of a program."""
+    return transform_program(
+        program, lambda fn, prog: swift_function(fn, prog, config)
+    )

@@ -1,0 +1,33 @@
+"""SWIFT-R: software triple-modular redundancy with recovery (Section 3).
+
+Every integer computation is triplicated; majority votes before loads,
+stores, branches, calls, returns, and output repair any single corrupted
+copy, letting the program run to a *correct* completion in the presence
+of a fault rather than merely detecting it.
+"""
+
+from __future__ import annotations
+
+from ..isa.function import Function
+from ..isa.program import Program
+from .base import transform_program
+from .engine import DuplicationEngine, Form, ProtectionConfig, uniform_assignment
+
+
+def swiftr_function(
+    function: Function,
+    program: Program,
+    config: ProtectionConfig | None = None,
+) -> Function:
+    """Apply SWIFT-R triplication + voting to one function."""
+    assignment = uniform_assignment(function, Form.TMR)
+    return DuplicationEngine(function, assignment, config).run()
+
+
+def apply_swiftr(
+    program: Program, config: ProtectionConfig | None = None
+) -> Program:
+    """Apply SWIFT-R to every function of a program."""
+    return transform_program(
+        program, lambda fn, prog: swiftr_function(fn, prog, config)
+    )

@@ -1,0 +1,21 @@
+"""Benchmark workloads mirroring the paper's evaluation suite."""
+
+from .suite import (
+    EXTRA_BENCHMARKS,
+    MICRO_BENCHMARKS,
+    PAPER_BENCHMARKS,
+    WORKLOADS,
+    Workload,
+    build,
+    get_workload,
+)
+
+__all__ = [
+    "EXTRA_BENCHMARKS",
+    "MICRO_BENCHMARKS",
+    "PAPER_BENCHMARKS",
+    "WORKLOADS",
+    "Workload",
+    "build",
+    "get_workload",
+]

@@ -1,0 +1,103 @@
+"""179.art analogue: Adaptive Resonance Theory neural-net matching.
+
+Real art is overwhelmingly floating point: F1/F2 layer activations,
+weight updates, winner-take-all searches.  Since the paper's techniques
+neither duplicate nor protect FP registers (Section 7.1), art shows
+near-zero performance overhead and little reliability change for every
+technique -- a shape this kernel reproduces.  Integer work is confined
+to loop indexing.
+"""
+
+ART_SOURCE = r"""
+int f1_size = 24;
+int f2_size = 8;
+int npatterns = 8;
+int train_epochs = 1;
+
+float weights_bu[192];    // f1_size * f2_size bottom-up
+float weights_td[192];    // top-down
+float input_pat[24];
+float activation[8];
+long lcg = 179179;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+void init_weights() {
+    for (int i = 0; i < f1_size * f2_size; i++) {
+        weights_bu[i] = 1.0 / (1.0 + (float)f1_size);
+        weights_td[i] = 1.0;
+    }
+}
+
+void make_pattern(int p) {
+    // Deterministic binary-ish pattern with noise.
+    for (int i = 0; i < f1_size; i++) {
+        int bit = ((i * 7 + p * 11) % 13) < 6 ? 1 : 0;
+        float noise = (float)(nextrand(100)) / 1000.0;
+        input_pat[i] = (float)bit * 0.9 + noise;
+    }
+}
+
+int find_winner() {
+    // Bottom-up propagation + winner-take-all.
+    int winner = 0;
+    float best = -1.0;
+    for (int j = 0; j < f2_size; j++) {
+        float act = 0.0;
+        for (int i = 0; i < f1_size; i++) {
+            act = act + input_pat[i] * weights_bu[j * f1_size + i];
+        }
+        activation[j] = act;
+        if (act > best) { best = act; winner = j; }
+    }
+    return winner;
+}
+
+float vigilance_match(int j) {
+    float num = 0.0;
+    float den = 0.001;
+    for (int i = 0; i < f1_size; i++) {
+        num = num + input_pat[i] * weights_td[j * f1_size + i];
+        den = den + input_pat[i];
+    }
+    return num / den;
+}
+
+void learn(int j) {
+    float rate = 0.3;
+    for (int i = 0; i < f1_size; i++) {
+        float x = input_pat[i] * weights_td[j * f1_size + i];
+        weights_td[j * f1_size + i] = weights_td[j * f1_size + i]
+            + rate * (x - weights_td[j * f1_size + i]);
+        weights_bu[j * f1_size + i] = x / (0.5 + x * (float)f1_size);
+    }
+}
+
+int main() {
+    init_weights();
+    int assignments = 0;
+    for (int e = 0; e < train_epochs; e++) {
+        for (int p = 0; p < npatterns; p++) {
+            make_pattern(p);
+            int winner = find_winner();
+            float match = vigilance_match(winner);
+            if (match > 0.5) {
+                learn(winner);
+                assignments = assignments + winner + 1;
+            }
+        }
+    }
+    print(assignments);
+    // Quantised weight checksum.
+    int checksum = 0;
+    for (int i = 0; i < f1_size * f2_size; i++) {
+        int q = (int)(weights_bu[i] * 10000.0);
+        checksum = (checksum * 31 + q) & 1048575;
+    }
+    print(checksum);
+    return 0;
+}
+"""

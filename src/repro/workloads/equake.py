@@ -1,0 +1,87 @@
+"""183.equake analogue: sparse matrix-vector earthquake kernel.
+
+Real equake's hot loop is ``smvp``: a CSR sparse matrix-vector product
+inside a time-stepping loop.  The FP multiply-accumulates ride on a
+dense stream of *integer* index arithmetic (row pointers, column
+indices, gathers) -- which is why the paper finds TRUMP performing on
+par with SWIFT-R here: the address chains are additions and constant
+multiplies that AN-codes survive, while the FP math is outside the
+protected domain entirely.
+"""
+
+EQUAKE_SOURCE = r"""
+int n = 64;             // matrix dimension
+int maxnz = 8;          // nonzeros per row
+int timesteps = 3;
+
+int rowptr[65];
+int colidx[512];
+float values[512];
+float v_in[64];
+float v_out[64];
+float disp[64];
+long lcg = 19891017;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+float nextval() {
+    return (float)(nextrand(2000) - 1000) / 512.0;
+}
+
+void build_matrix() {
+    int nz = 0;
+    for (int r = 0; r < n; r++) {
+        rowptr[r] = nz;
+        colidx[nz] = r;            // diagonal dominance
+        values[nz] = 8.0 + (float)nextrand(8);
+        nz++;
+        for (int k = 1; k < maxnz; k++) {
+            colidx[nz] = nextrand(n);
+            values[nz] = nextval();
+            nz++;
+        }
+    }
+    rowptr[n] = nz;
+    for (int i = 0; i < n; i++) {
+        v_in[i] = (float)(nextrand(100)) / 100.0;
+        disp[i] = 0.0;
+    }
+}
+
+void smvp() {
+    // The equake hot loop: CSR gather + multiply-accumulate.
+    for (int r = 0; r < n; r++) {
+        float acc = 0.0;
+        int lo = rowptr[r];
+        int hi = rowptr[r + 1];
+        for (int j = lo; j < hi; j++) {
+            int c = colidx[j];
+            acc = acc + values[j] * v_in[c];
+        }
+        v_out[r] = acc;
+    }
+}
+
+int main() {
+    build_matrix();
+    for (int t = 0; t < timesteps; t++) {
+        smvp();
+        // Explicit time integration + copy-back.
+        for (int i = 0; i < n; i++) {
+            disp[i] = disp[i] + v_out[i] / 64.0;
+            v_in[i] = v_in[i] * 0.98 + disp[i] / 32.0;
+        }
+    }
+    // Fixed-point checksum of the displacement field.
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+        int q = (int)(disp[i] * 4096.0);
+        checksum = (checksum * 31 + q) & 1048575;
+    }
+    print(checksum);
+    return 0;
+}
+"""

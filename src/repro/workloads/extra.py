@@ -1,0 +1,181 @@
+"""Extra workloads (MiBench-style breadth beyond the paper's suite).
+
+* ``dijkstra`` -- O(V^2) single-source shortest paths over an adjacency
+  matrix: compare/branch-dominated selection loops with dense array
+  scanning (MiBench's network suite shape).
+* ``fft`` -- iterative radix-2 fixed-point FFT: bit-reversal permutation
+  (purely logical) feeding butterfly arithmetic (adds plus multiplies
+  by table values), a half-TRUMP-friendly mix that sits between the
+  mpeg2 and crc32 extremes.
+"""
+
+DIJKSTRA_SOURCE = r"""
+int nv = 40;
+int adj[1600];
+int dist[40];
+int done[40];
+int parent[40];
+long lcg = 987654321;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+void build_graph() {
+    for (int i = 0; i < nv; i++) {
+        for (int j = 0; j < nv; j++) {
+            adj[i * 40 + j] = 0;
+        }
+    }
+    // A sparse random digraph with a guaranteed spanning chain.
+    for (int i = 0; i + 1 < nv; i++) {
+        adj[i * 40 + i + 1] = 1 + nextrand(20);
+    }
+    for (int e = 0; e < 120; e++) {
+        int u = nextrand(nv);
+        int v = nextrand(nv);
+        if (u != v) {
+            adj[u * 40 + v] = 1 + nextrand(100);
+        }
+    }
+}
+
+void dijkstra(int source) {
+    for (int i = 0; i < nv; i++) {
+        dist[i] = 1000000;
+        done[i] = 0;
+        parent[i] = -1;
+    }
+    dist[source] = 0;
+    for (int round = 0; round < nv; round++) {
+        // Selection scan (no heap, like MiBench's reference version).
+        int best = -1;
+        int best_d = 1000000;
+        for (int i = 0; i < nv; i++) {
+            if (!done[i] && dist[i] < best_d) {
+                best = i;
+                best_d = dist[i];
+            }
+        }
+        if (best < 0) { break; }
+        done[best] = 1;
+        for (int j = 0; j < nv; j++) {
+            int w = adj[best * 40 + j];
+            if (w != 0 && dist[best] + w < dist[j]) {
+                dist[j] = dist[best] + w;
+                parent[j] = best;
+            }
+        }
+    }
+}
+
+int main() {
+    build_graph();
+    dijkstra(0);
+    int checksum = 0;
+    int reached = 0;
+    for (int i = 0; i < nv; i++) {
+        if (dist[i] < 1000000) { reached++; }
+        checksum = (checksum * 31 + dist[i]) & 1048575;
+    }
+    print(reached);
+    print(checksum);
+    print(dist[nv - 1]);
+    return 0;
+}
+"""
+
+FFT_SOURCE = r"""
+// 64-point radix-2 decimation-in-time FFT in Q12 fixed point.
+int npoints = 64;
+int re[64];
+int im[64];
+int cos_table[32];
+int sin_table[32];
+long lcg = 6464;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+// Q12 quarter-wave cosine via a small polynomial (enough precision for
+// a deterministic checksum kernel; no floating point involved).
+void build_tables() {
+    // cos(pi*k/32) and sin(pi*k/32) in Q12, tabulated by recurrence:
+    // start from (4096, 0) and rotate by the fixed angle via the
+    // standard integer rotation with correction.
+    int c = 4096;       // cos(0)
+    int s = 0;          // sin(0)
+    // Q12 constants for cos/sin of pi/32.
+    int dc = 4076;      // round(4096 * cos(pi/32))
+    int ds = 402;       // round(4096 * sin(pi/32))
+    for (int k = 0; k < 32; k++) {
+        cos_table[k] = c;
+        sin_table[k] = s;
+        int nc = (c * dc - s * ds) >> 12;
+        int ns = (s * dc + c * ds) >> 12;
+        c = nc;
+        s = ns;
+    }
+}
+
+int bit_reverse(int x, int bits) {
+    int r = 0;
+    for (int b = 0; b < bits; b++) {
+        r = (r << 1) | (x & 1);
+        x = x >> 1;
+    }
+    return r;
+}
+
+void fft() {
+    // Bit-reversal permutation (logical chains).
+    for (int i = 0; i < npoints; i++) {
+        int j = bit_reverse(i, 6);
+        if (j > i) {
+            int t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }
+    }
+    // Butterflies (arithmetic chains).
+    for (int size = 2; size <= npoints; size = size * 2) {
+        int half = size / 2;
+        int step = npoints / size;
+        for (int base = 0; base < npoints; base += size) {
+            for (int k = 0; k < half; k++) {
+                int tw = k * step;
+                int c = cos_table[tw];
+                int s = -sin_table[tw];
+                int xr = re[base + k + half];
+                int xi = im[base + k + half];
+                int tr = (xr * c - xi * s) >> 12;
+                int ti = (xr * s + xi * c) >> 12;
+                re[base + k + half] = re[base + k] - tr;
+                im[base + k + half] = im[base + k] - ti;
+                re[base + k] = re[base + k] + tr;
+                im[base + k] = im[base + k] + ti;
+            }
+        }
+    }
+}
+
+int main() {
+    build_tables();
+    for (int i = 0; i < npoints; i++) {
+        re[i] = nextrand(2048) - 1024;
+        im[i] = 0;
+    }
+    fft();
+    int checksum = 0;
+    long energy = 0;
+    for (int i = 0; i < npoints; i++) {
+        checksum = (checksum * 31 + re[i] + im[i] * 7) & 1048575;
+        energy += (long)(re[i]) * re[i] + (long)(im[i]) * im[i];
+    }
+    print(checksum);
+    print((int)(energy % 1048573));
+    return 0;
+}
+"""

@@ -1,0 +1,190 @@
+"""Micro-workloads: small single-kernel programs.
+
+These are not paper benchmarks; they exist to give the test suite and
+the ablation benches fast, behaviourally extreme inputs:
+
+* ``crc32``    -- purely logical chains (worst case for TRUMP),
+* ``bitcount`` -- shift/mask loops (another TRUMP-hostile mix),
+* ``matmul``   -- dense integer multiply-accumulate (TRUMP-friendly),
+* ``sort``     -- branch- and compare-dominated (stresses branch
+  validation and MASK's compare-result invariants).
+"""
+
+CRC32_SOURCE = r"""
+int table_built = 0;
+long crc_table[256];
+int nbytes = 400;
+long data[400];
+long lcg = 323232;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+void build_table() {
+    for (int n = 0; n < 256; n++) {
+        long c = n;
+        for (int k = 0; k < 8; k++) {
+            if ((c & 1) != 0) { c = 3988292384 ^ lsr(c, 1); }
+            else { c = lsr(c, 1); }
+        }
+        crc_table[n] = c;
+    }
+    table_built = 1;
+}
+
+int main() {
+    build_table();
+    for (int i = 0; i < nbytes; i++) { data[i] = nextrand(256); }
+    long crc = 4294967295;
+    for (int i = 0; i < nbytes; i++) {
+        int idx = (int)((crc ^ data[i]) & 255);
+        crc = crc_table[idx] ^ lsr(crc, 8);
+    }
+    crc = crc ^ 4294967295;
+    print((int)(crc & 1048575));
+    print((int)(lsr(crc, 20) & 4095));
+    return 0;
+}
+"""
+
+BITCOUNT_SOURCE = r"""
+long lcg = 777;
+int nvalues = 100;
+
+int nextbits() {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 33) & 2147483647);
+}
+
+int pop_shift(long v) {
+    int count = 0;
+    while (v != 0) {
+        count += (int)(v & 1);
+        v = lsr(v, 1);
+    }
+    return count;
+}
+
+int pop_kernighan(long v) {
+    int count = 0;
+    while (v != 0) {
+        v = v & (v - 1);
+        count++;
+    }
+    return count;
+}
+
+int pop_nibble(long v) {
+    int count = 0;
+    while (v != 0) {
+        int nib = (int)(v & 15);
+        count += (nib & 1) + (lsr(nib, 1) & 1) + (lsr(nib, 2) & 1)
+               + (lsr(nib, 3) & 1);
+        v = lsr(v, 4);
+    }
+    return count;
+}
+
+int main() {
+    int total = 0;
+    for (int i = 0; i < nvalues; i++) {
+        long v = nextbits();
+        int a = pop_shift(v);
+        int b = pop_kernighan(v);
+        int c = pop_nibble(v);
+        if (a != b || b != c) { print(-1); return 1; }
+        total += a;
+    }
+    print(total);
+    return 0;
+}
+"""
+
+MATMUL_SOURCE = r"""
+// Fixed 12x12 size: strides are compile-time constants, so the index
+// arithmetic is multiply-by-constant throughout -- AN-codable, making
+// this the TRUMP-friendly extreme of the micro suite.
+int a[144];
+int b[144];
+int c[144];
+long lcg = 144000;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+int main() {
+    for (int i = 0; i < 144; i++) {
+        a[i] = nextrand(100) - 50;
+        b[i] = nextrand(100) - 50;
+    }
+    for (int i = 0; i < 12; i++) {
+        for (int j = 0; j < 12; j++) {
+            int acc = 0;
+            for (int k = 0; k < 12; k++) {
+                acc += a[i * 12 + k] * b[k * 12 + j];
+            }
+            c[i * 12 + j] = acc;
+        }
+    }
+    int checksum = 0;
+    long trace = 0;
+    for (int i = 0; i < 144; i++) {
+        checksum = (checksum * 31 + c[i]) & 1048575;
+    }
+    for (int i = 0; i < 12; i++) { trace += c[i * 12 + i]; }
+    print(checksum);
+    print((int)trace);
+    return 0;
+}
+"""
+
+SORT_SOURCE = r"""
+int n = 160;
+int values[160];
+long lcg = 616161;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+void quicksort(int lo, int hi) {
+    if (lo >= hi) { return; }
+    int pivot = values[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (values[i] < pivot) { i++; }
+        while (values[j] > pivot) { j--; }
+        if (i <= j) {
+            int t = values[i];
+            values[i] = values[j];
+            values[j] = t;
+            i++;
+            j--;
+        }
+    }
+    quicksort(lo, j);
+    quicksort(i, hi);
+}
+
+int main() {
+    for (int i = 0; i < n; i++) { values[i] = nextrand(10000); }
+    quicksort(0, n - 1);
+    for (int i = 1; i < n; i++) {
+        if (values[i - 1] > values[i]) { print(-1); return 1; }
+    }
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+        checksum = (checksum * 31 + values[i]) & 1048575;
+    }
+    print(checksum);
+    print(values[0]);
+    print(values[n - 1]);
+    return 0;
+}
+"""

@@ -1,0 +1,166 @@
+"""mpeg2dec / mpeg2enc: 8x8 block DCT pipeline (MediaBench analogue).
+
+mpeg2enc runs a forward integer DCT plus quantisation over synthetic
+image blocks; mpeg2dec runs dequantisation plus the classic Chen-Wang
+integer inverse DCT (the hot loop of real mpeg2decode).  Both are
+dominated by add/sub/multiply-by-constant chains -- exactly the shape
+AN-codes propagate through -- which is why the paper finds TRUMP
+performing on par with SWIFT-R on mpeg2enc.  The right-shift
+descaling steps break some chains, keeping coverage below 100%.
+"""
+
+MPEG2_COMMON = r"""
+int nblocks = 4;
+int block[64];
+int coeff[64];
+int recon[64];
+long lcg = 20061025;
+
+int quant_table[64] = {
+    8, 16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83 };
+
+int next_pel() {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 44) % 256) - 128;
+}
+
+void make_block(int b) {
+    // A smooth gradient plus noise, so the DCT has realistic structure.
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            block[y * 8 + x] = (x * 9 + y * 5 + b * 3) % 160 - 80
+                             + next_pel() / 16;
+        }
+    }
+}
+
+// One-dimensional integer DCT butterfly (scaled Chen), applied to rows
+// then columns.  Multiplies are by compile-time constants.
+void fdct_1d(int *v, int stride) {
+    int s07 = v[0] + v[7 * stride];
+    int d07 = v[0] - v[7 * stride];
+    int s16 = v[stride] + v[6 * stride];
+    int d16 = v[stride] - v[6 * stride];
+    int s25 = v[2 * stride] + v[5 * stride];
+    int d25 = v[2 * stride] - v[5 * stride];
+    int s34 = v[3 * stride] + v[4 * stride];
+    int d34 = v[3 * stride] - v[4 * stride];
+
+    int a0 = s07 + s34;
+    int a1 = s16 + s25;
+    int a2 = s07 - s34;
+    int a3 = s16 - s25;
+
+    v[0] = (a0 + a1) * 4;
+    v[4 * stride] = (a0 - a1) * 4;
+    v[2 * stride] = (a2 * 554 + a3 * 229) >> 7;
+    v[6 * stride] = (a2 * 229 - a3 * 554) >> 7;
+
+    int b0 = (d07 * 196 + d34 * 35) >> 6;
+    int b1 = (d16 * 166 + d25 * 111) >> 6;
+    int b2 = (d16 * 111 - d25 * 166) >> 6;
+    int b3 = (d07 * 35 - d34 * 196) >> 6;
+
+    v[stride] = b0 + b1;
+    v[7 * stride] = b3 - b2;
+    v[3 * stride] = b3 + b2;
+    v[5 * stride] = b0 - b1;
+}
+
+void idct_1d(int *v, int stride) {
+    int e0 = (v[0] + v[4 * stride]) * 4;
+    int e1 = (v[0] - v[4 * stride]) * 4;
+    int e2 = (v[2 * stride] * 554 + v[6 * stride] * 229) >> 7;
+    int e3 = (v[2 * stride] * 229 - v[6 * stride] * 554) >> 7;
+
+    int o0 = v[stride] + v[5 * stride];
+    int o1 = v[stride] - v[5 * stride];
+    int o2 = v[3 * stride] + v[7 * stride];
+    int o3 = v[3 * stride] - v[7 * stride];
+
+    int f0 = (o0 * 181 + o2 * 75) >> 7;
+    int f1 = (o1 * 196 + o3 * 35) >> 7;
+    int f2 = (o1 * 35 - o3 * 196) >> 7;
+    int f3 = (o0 * 75 - o2 * 181) >> 7;
+
+    int g0 = e0 + e2;
+    int g1 = e1 + e3;
+    int g2 = e1 - e3;
+    int g3 = e0 - e2;
+
+    v[0] = (g0 + f0) >> 3;
+    v[7 * stride] = (g0 - f0) >> 3;
+    v[stride] = (g1 + f1) >> 3;
+    v[6 * stride] = (g1 - f1) >> 3;
+    v[2 * stride] = (g2 + f2) >> 3;
+    v[5 * stride] = (g2 - f2) >> 3;
+    v[3 * stride] = (g3 + f3) >> 3;
+    v[4 * stride] = (g3 - f3) >> 3;
+}
+
+void quantise() {
+    for (int i = 0; i < 64; i++) {
+        int q = quant_table[i];
+        int c = coeff[i];
+        if (c >= 0) { coeff[i] = c / q; }
+        else { coeff[i] = -((-c) / q); }
+    }
+}
+
+void dequantise() {
+    for (int i = 0; i < 64; i++) {
+        coeff[i] = coeff[i] * quant_table[i];
+    }
+}
+"""
+
+MPEG2ENC_SOURCE = MPEG2_COMMON + r"""
+int main() {
+    int checksum = 0;
+    for (int b = 0; b < nblocks; b++) {
+        make_block(b);
+        for (int i = 0; i < 64; i++) { coeff[i] = block[i]; }
+        for (int r = 0; r < 8; r++) { fdct_1d(&coeff[r * 8], 1); }
+        for (int c = 0; c < 8; c++) { fdct_1d(&coeff[c], 8); }
+        quantise();
+        for (int i = 0; i < 64; i++) {
+            checksum = (checksum * 31 + coeff[i]) & 1048575;
+        }
+    }
+    print(checksum);
+    return 0;
+}
+"""
+
+MPEG2DEC_SOURCE = MPEG2_COMMON + r"""
+int main() {
+    int checksum = 0;
+    for (int b = 0; b < nblocks; b++) {
+        make_block(b);
+        for (int i = 0; i < 64; i++) { coeff[i] = block[i]; }
+        for (int r = 0; r < 8; r++) { fdct_1d(&coeff[r * 8], 1); }
+        for (int c = 0; c < 8; c++) { fdct_1d(&coeff[c], 8); }
+        quantise();
+        // Decoder side: dequantise + inverse transform + clamp.
+        dequantise();
+        for (int c = 0; c < 8; c++) { idct_1d(&coeff[c], 8); }
+        for (int r = 0; r < 8; r++) { idct_1d(&coeff[r * 8], 1); }
+        for (int i = 0; i < 64; i++) {
+            int p = coeff[i] >> 6;
+            if (p > 127) { p = 127; }
+            if (p < -128) { p = -128; }
+            recon[i] = p;
+            checksum = (checksum * 31 + p) & 1048575;
+        }
+    }
+    print(checksum);
+    return 0;
+}
+"""

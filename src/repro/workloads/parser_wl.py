@@ -1,0 +1,108 @@
+"""197.parser analogue: tokeniser + dictionary lookup.
+
+Real parser (a natural-language link parser) spends its time scanning
+characters and probing word dictionaries -- comparisons, masks, and
+byte extraction.  This kernel synthesises a "text" of packed 8-char
+words, tokenises it by extracting bytes with shifts and ANDs, hashes
+each token, and probes a chained hash dictionary.  The dependence
+chains run through logical operations almost everywhere, which is why
+the paper finds TRUMP's reliability gain on parser far below SWIFT-R's:
+AN-codes cannot follow these chains (Section 4.3).
+"""
+
+PARSER_SOURCE = r"""
+int dict_size = 64;
+int nwords = 120;
+long text[120];
+int dict_heads[64];
+int dict_next[256];
+long dict_word[256];
+int dict_count[256];
+int dict_used = 0;
+long lcg = 1977;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+long make_word(int seed) {
+    // Pack 8 lowercase letters into one word.
+    long w = 0;
+    for (int i = 0; i < 8; i++) {
+        int letter = 97 + (seed * 7 + i * 13) % 26;
+        w = (w << 8) | letter;
+    }
+    return w;
+}
+
+void make_text() {
+    // Zipf-ish mix: a small vocabulary with skewed frequencies.
+    for (int i = 0; i < nwords; i++) {
+        int r = nextrand(100);
+        int id = 0;
+        if (r < 40) { id = nextrand(4); }
+        else if (r < 75) { id = 4 + nextrand(12); }
+        else { id = 16 + nextrand(48); }
+        text[i] = make_word(id);
+    }
+}
+
+int hash_word(long w) {
+    // FNV-ish byte-at-a-time hash: shifts, XORs, masks throughout.
+    long h = 2166136261;
+    for (int i = 0; i < 8; i++) {
+        long byte = lsr(w, i * 8) & 255;
+        h = h ^ byte;
+        h = (h * 16777619) & 4294967295;
+    }
+    return (int)(h & 63);
+}
+
+int lookup_or_insert(long w) {
+    int bucket = hash_word(w);
+    int node = dict_heads[bucket];
+    while (node >= 0) {
+        if (dict_word[node] == w) {
+            dict_count[node]++;
+            return node;
+        }
+        node = dict_next[node];
+    }
+    node = dict_used;
+    dict_used++;
+    dict_word[node] = w;
+    dict_count[node] = 1;
+    dict_next[node] = dict_heads[bucket];
+    dict_heads[bucket] = node;
+    return node;
+}
+
+int main() {
+    for (int b = 0; b < dict_size; b++) { dict_heads[b] = -1; }
+    make_text();
+    long signature = 0;
+    for (int i = 0; i < nwords; i++) {
+        int node = lookup_or_insert(text[i]);
+        // Feature extraction: capitalisation class, vowel mask, suffix.
+        long w = text[i];
+        int last = (int)(w & 255);
+        int vowels = 0;
+        for (int k = 0; k < 8; k++) {
+            int ch = (int)(lsr(w, k * 8) & 255);
+            if (ch == 97 || ch == 101 || ch == 105 || ch == 111
+                || ch == 117) { vowels |= 1 << k; }
+        }
+        signature = (signature * 33 + node + vowels * 256 + last)
+                    % 1073741789;
+    }
+    print(dict_used);
+    print((int)(signature % 1048573));
+    int most = 0;
+    for (int i = 0; i < dict_used; i++) {
+        if (dict_count[i] > dict_count[most]) { most = i; }
+    }
+    print(dict_count[most]);
+    return 0;
+}
+"""

@@ -1,0 +1,142 @@
+"""The benchmark registry.
+
+Each workload is a mini-C program mirroring the instruction-mix profile
+of one benchmark from the paper's evaluation (SPEC CPU2000 and
+MediaBench), plus a set of micro-workloads used by tests and ablations.
+Inputs are synthesised in-program from fixed LCG seeds, so every
+workload is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..errors import WorkloadError
+from ..isa.program import Program
+from ..isa.verify import verify_program
+from ..lang import compile_source
+from ..transform.optimize import optimize_program
+from .adpcm import ADPCMDEC_SOURCE, ADPCMENC_SOURCE
+from .art import ART_SOURCE
+from .equake import EQUAKE_SOURCE
+from .extra import DIJKSTRA_SOURCE, FFT_SOURCE
+from .mcf import MCF_SOURCE
+from .micro import BITCOUNT_SOURCE, CRC32_SOURCE, MATMUL_SOURCE, SORT_SOURCE
+from .mpeg2 import MPEG2DEC_SOURCE, MPEG2ENC_SOURCE
+from .parser_wl import PARSER_SOURCE
+from .twolf import TWOLF_SOURCE
+from .vortex import VORTEX_SOURCE
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: source text plus descriptive metadata."""
+
+    name: str
+    source: str
+    paper_analogue: str
+    description: str
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def compile(self, optimize: bool = True) -> Program:
+        """Compile (uncached); most callers want :func:`build`.
+
+        ``optimize`` applies the -O2-style scalar cleanup the paper's
+        gcc input had (see :mod:`repro.transform.optimize`).
+        """
+        program = compile_source(self.source)
+        verify_program(program)
+        if optimize:
+            program = optimize_program(program)
+            verify_program(program)
+        return program
+
+
+def _wl(name: str, source: str, analogue: str, description: str,
+        *tags: str) -> Workload:
+    return Workload(name, source, analogue, description, frozenset(tags))
+
+
+#: All registered workloads by name.
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        _wl("adpcmdec", ADPCMDEC_SOURCE, "MediaBench adpcm (decode)",
+            "IMA ADPCM decoder with the Figure-6 parity guard",
+            "mask_showcase", "logical"),
+        _wl("adpcmenc", ADPCMENC_SOURCE, "MediaBench adpcm (encode)",
+            "IMA ADPCM encoder", "logical"),
+        _wl("mpeg2dec", MPEG2DEC_SOURCE, "MediaBench mpeg2 (decode)",
+            "dequantise + integer IDCT over synthetic blocks",
+            "arith", "mask_showcase"),
+        _wl("mpeg2enc", MPEG2ENC_SOURCE, "MediaBench mpeg2 (encode)",
+            "integer forward DCT + quantisation", "arith",
+            "trump_friendly"),
+        _wl("equake", EQUAKE_SOURCE, "SPEC CFP2000 183.equake",
+            "CSR sparse matrix-vector time stepping", "arith",
+            "trump_friendly", "fp"),
+        _wl("mcf", MCF_SOURCE, "SPEC CINT2000 181.mcf",
+            "pointer-chasing label-correcting network kernel",
+            "memory_bound"),
+        _wl("parser", PARSER_SOURCE, "SPEC CINT2000 197.parser",
+            "tokeniser + chained-hash dictionary", "logical",
+            "trump_hostile"),
+        _wl("vortex", VORTEX_SOURCE, "SPEC CINT2000 255.vortex",
+            "object-database transaction mix", "load_heavy"),
+        _wl("twolf", TWOLF_SOURCE, "SPEC CINT2000 300.twolf",
+            "standard-cell placement cost optimisation", "compute"),
+        _wl("art", ART_SOURCE, "SPEC CFP2000 179.art",
+            "ART neural network matching", "fp_dominated"),
+        _wl("crc32", CRC32_SOURCE, "micro",
+            "table-driven CRC-32 (purely logical chains)",
+            "micro", "logical", "trump_hostile"),
+        _wl("bitcount", BITCOUNT_SOURCE, "micro",
+            "three popcount algorithms cross-checked", "micro", "logical"),
+        _wl("matmul", MATMUL_SOURCE, "micro",
+            "dense integer matrix multiply", "micro", "arith"),
+        _wl("sort", SORT_SOURCE, "micro",
+            "recursive quicksort with verification", "micro", "branchy"),
+        _wl("dijkstra", DIJKSTRA_SOURCE, "MiBench network/dijkstra",
+            "O(V^2) single-source shortest paths", "extra", "branchy",
+            "load_heavy"),
+        _wl("fft", FFT_SOURCE, "MiBench telecomm/fft",
+            "64-point radix-2 fixed-point FFT", "extra", "arith",
+            "logical"),
+    )
+}
+
+#: The paper-figure benchmarks, in presentation order (Figures 8 and 9).
+PAPER_BENCHMARKS = (
+    "adpcmdec",
+    "adpcmenc",
+    "mpeg2dec",
+    "mpeg2enc",
+    "equake",
+    "mcf",
+    "parser",
+    "vortex",
+    "twolf",
+    "art",
+)
+
+#: Fast micro-workloads used by tests and ablations.
+MICRO_BENCHMARKS = ("crc32", "bitcount", "matmul", "sort")
+
+#: Additional workloads outside the paper's suite (MiBench-style).
+EXTRA_BENCHMARKS = ("dijkstra", "fft")
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise WorkloadError(f"unknown workload {name!r} (known: {known})"
+                            ) from None
+
+
+@lru_cache(maxsize=None)
+def build(name: str) -> Program:
+    """Compile a workload to verified virtual-register IR (cached)."""
+    return get_workload(name).compile()

@@ -1,0 +1,131 @@
+"""300.twolf analogue: standard-cell placement cost optimisation.
+
+Real twolf iteratively perturbs a cell placement and evaluates
+half-perimeter wirelength deltas -- integer arithmetic over coordinate
+arrays with comparatively few loads per computation.  The paper notes
+such compute-dense benchmarks pay *less* for protection than check-heavy
+ones (fewer validation points per instruction).  The kernel below runs
+a deterministic simulated-annealing-style improvement loop.
+"""
+
+TWOLF_SOURCE = r"""
+int ncells = 32;
+int nnets = 24;
+int pins_per_net = 4;
+
+int cell_x[32];
+int cell_y[32];
+int net_pins[96];
+long lcg = 300300;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+void build() {
+    for (int c = 0; c < ncells; c++) {
+        cell_x[c] = nextrand(256);
+        cell_y[c] = nextrand(64);
+    }
+    for (int p = 0; p < nnets * pins_per_net; p++) {
+        net_pins[p] = nextrand(ncells);
+    }
+}
+
+int net_cost(int net) {
+    // Half-perimeter bounding box of the net's pins.
+    int base = net * pins_per_net;
+    int minx = 1000000; int maxx = -1000000;
+    int miny = 1000000; int maxy = -1000000;
+    for (int p = 0; p < pins_per_net; p++) {
+        int c = net_pins[base + p];
+        int x = cell_x[c];
+        int y = cell_y[c];
+        if (x < minx) { minx = x; }
+        if (x > maxx) { maxx = x; }
+        if (y < miny) { miny = y; }
+        if (y > maxy) { maxy = y; }
+    }
+    return (maxx - minx) + 2 * (maxy - miny);
+}
+
+int total_cost() {
+    int cost = 0;
+    for (int net = 0; net < nnets; net++) {
+        cost += net_cost(net);
+    }
+    return cost;
+}
+
+// Per-cell net membership, built once (real twolf keeps exactly such
+// term lists on each cell record).
+int cell_net_start[33];
+int cell_net_list[96];
+
+void build_membership() {
+    int pos = 0;
+    for (int c = 0; c < ncells; c++) {
+        cell_net_start[c] = pos;
+        for (int net = 0; net < nnets; net++) {
+            int base = net * pins_per_net;
+            int touches = 0;
+            for (int p = 0; p < pins_per_net; p++) {
+                if (net_pins[base + p] == c) { touches = 1; }
+            }
+            if (touches != 0) {
+                cell_net_list[pos] = net;
+                pos++;
+            }
+        }
+    }
+    cell_net_start[ncells] = pos;
+}
+
+int affected_cost(int c) {
+    int sum = 0;
+    int lo = cell_net_start[c];
+    int hi = cell_net_start[c + 1];
+    for (int k = lo; k < hi; k++) {
+        sum += net_cost(cell_net_list[k]);
+    }
+    return sum;
+}
+
+int main() {
+    build();
+    build_membership();
+    int cost = total_cost();
+    int initial = cost;
+    int accepted = 0;
+    int moves = 40;
+    int temperature = 40;
+    for (int m = 0; m < moves; m++) {
+        int c = nextrand(ncells);
+        int oldx = cell_x[c];
+        int oldy = cell_y[c];
+        int before = affected_cost(c);
+        cell_x[c] = (oldx + nextrand(2 * temperature + 1) - temperature
+                     + 256) % 256;
+        cell_y[c] = (oldy + nextrand(temperature + 1) - temperature / 2
+                     + 64) % 64;
+        int after = affected_cost(c);
+        int delta = after - before;
+        if (delta <= 0 || nextrand(100) < 2) {
+            cost += delta;
+            accepted++;
+        } else {
+            cell_x[c] = oldx;
+            cell_y[c] = oldy;
+        }
+        if (m % 12 == 11 && temperature > 4) {
+            temperature -= 12;
+        }
+    }
+    print(initial);
+    print(cost);
+    print(accepted);
+    print(total_cost());
+    return 0;
+}
+"""

@@ -1,0 +1,115 @@
+"""255.vortex analogue: object-database transaction mix.
+
+Real vortex exercises an object store: create/lookup/delete operations
+over hashed collections, with deep call chains and a load every few
+instructions.  This kernel drives a chained hash table of fixed-size
+object records through a scripted transaction mix.  The abundance of
+loads means many SWIFT/SWIFT-R validation points per computation
+instruction -- the paper calls out vortex as a benchmark whose "check"
+cost dominates, giving a higher-than-average slowdown.
+"""
+
+VORTEX_SOURCE = r"""
+int nbuckets = 64;
+int capacity = 512;
+int heads[64];
+int next_link[512];
+long obj_key[512];
+long obj_f1[512];
+long obj_f2[512];
+int free_head = 0;
+int live_objects = 0;
+long lcg = 255255;
+
+int nextrand(int limit) {
+    lcg = lcg * 6364136223846793005 + 1442695040888963407;
+    return (int)(lsr(lcg, 40) % limit);
+}
+
+int bucket_of(long key) {
+    long h = key * 2654435761;
+    return (int)(lsr(h, 16) & 63);
+}
+
+void init_store() {
+    for (int b = 0; b < nbuckets; b++) { heads[b] = -1; }
+    for (int i = 0; i < capacity; i++) { next_link[i] = i + 1; }
+    next_link[capacity - 1] = -1;
+    free_head = 0;
+}
+
+int obj_create(long key) {
+    if (free_head < 0) { return -1; }
+    int slot = free_head;
+    free_head = next_link[slot];
+    obj_key[slot] = key;
+    obj_f1[slot] = key * 3 + 7;
+    obj_f2[slot] = key ^ 12345;
+    int b = bucket_of(key);
+    next_link[slot] = heads[b];
+    heads[b] = slot;
+    live_objects++;
+    return slot;
+}
+
+int obj_lookup(long key) {
+    int node = heads[bucket_of(key)];
+    while (node >= 0) {
+        if (obj_key[node] == key) { return node; }
+        node = next_link[node];
+    }
+    return -1;
+}
+
+int obj_delete(long key) {
+    int b = bucket_of(key);
+    int node = heads[b];
+    int prev = -1;
+    while (node >= 0) {
+        if (obj_key[node] == key) {
+            if (prev < 0) { heads[b] = next_link[node]; }
+            else { next_link[prev] = next_link[node]; }
+            next_link[node] = free_head;
+            free_head = node;
+            live_objects--;
+            return 1;
+        }
+        prev = node;
+        node = next_link[node];
+    }
+    return 0;
+}
+
+long obj_touch(int slot) {
+    obj_f1[slot] = obj_f1[slot] + obj_f2[slot];
+    obj_f2[slot] = obj_f2[slot] ^ obj_f1[slot];
+    return obj_f1[slot];
+}
+
+int main() {
+    init_store();
+    long checksum = 0;
+    int hits = 0;
+    int misses = 0;
+    int ntransactions = 400;
+    for (int t = 0; t < ntransactions; t++) {
+        int op = nextrand(100);
+        long key = nextrand(600);
+        if (op < 40) {
+            if (obj_lookup(key) < 0) { obj_create(key); }
+        } else if (op < 85) {
+            int slot = obj_lookup(key);
+            if (slot >= 0) { hits++; checksum += obj_touch(slot); }
+            else { misses++; }
+        } else {
+            obj_delete(key);
+        }
+        checksum = checksum % 1073741789;
+    }
+    print(live_objects);
+    print(hits);
+    print(misses);
+    print((int)(checksum % 1048573));
+    return 0;
+}
+"""

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.isa import Function, IRBuilder, Program, verify_program
+from repro.sim import run_program
+from repro.transform import Technique, allocate_program, protect
+
+
+@pytest.fixture
+def simple_program() -> Program:
+    """A tiny program with a load, a store, a branch, and a call."""
+    program = Program()
+    program.add_global("data", 8, [5, 4, 3, 2, 1, 0, 9, 7])
+    program.add_global("out", 1)
+
+    triple = Function("triple", num_params=1)
+    program.add_function(triple)
+    tb = IRBuilder(triple)
+    tb.start_block("entry")
+    x = tb.param(0)
+    tb.ret(tb.mul(x, 3))
+
+    main = Function("main")
+    program.add_function(main)
+    b = IRBuilder(main)
+    b.start_block("entry")
+    program.assign_addresses()
+    base = b.li(program.address_of("data"))
+    i = b.li(0)
+    total = b.li(0)
+    b.jmp("loop")
+    b.start_block("loop")
+    offset = b.shl(i, 3)
+    address = b.add(base, offset)
+    value = b.load(address)
+    b.add(total, value, dest=total)
+    b.add(i, 1, dest=i)
+    b.blt(i, 8, "loop")
+    b.start_block("done")
+    result = b.call("triple", [total])
+    out = b.li(program.address_of("out"))
+    b.store(out, result)
+    b.print_(result)
+    b.ret()
+    verify_program(program)
+    return program
+
+
+@pytest.fixture
+def simple_golden(simple_program):
+    return run_program(simple_program)
+
+
+def run_protected(program: Program, technique: Technique, **kwargs):
+    """Protect, allocate, and run -- the standard test pipeline."""
+    binary = allocate_program(protect(program, technique))
+    return run_program(binary, **kwargs)

@@ -1,0 +1,100 @@
+"""Call-graph analysis."""
+
+from repro.analysis import CallGraph
+from repro.isa import parse_program
+
+
+def program():
+    return parse_program("""
+func leaf(0):
+entry:
+    ret
+
+func mid(0):
+entry:
+    call leaf()
+    ret
+
+func selfrec(1):
+entry:
+    param v0, 0
+    bge v0, 1, rec
+base:
+    ret v0
+rec:
+    sub v1, v0, 1
+    call v2, selfrec(v1)
+    ret v2
+
+func dead(0):
+entry:
+    call leaf()
+    ret
+
+func main(0):
+entry:
+    call mid()
+    li v0, 2
+    call v1, selfrec(v0)
+    ret
+""")
+
+
+def test_edges():
+    cg = CallGraph(program())
+    assert cg.callees["main"] == {"mid", "selfrec"}
+    assert cg.callees["mid"] == {"leaf"}
+    assert cg.callers["leaf"] == {"mid", "dead"}
+    assert cg.callees["leaf"] == set()
+
+
+def test_reachability_excludes_dead():
+    cg = CallGraph(program())
+    reachable = cg.reachable_from_entry()
+    assert reachable == {"main", "mid", "leaf", "selfrec"}
+    assert "dead" not in reachable
+
+
+def test_recursion_detection():
+    cg = CallGraph(program())
+    assert cg.is_recursive("selfrec")
+    assert not cg.is_recursive("mid")
+    assert not cg.is_recursive("leaf")
+
+
+def test_mutual_recursion():
+    mutual = parse_program("""
+func ping(1):
+entry:
+    param v0, 0
+    bge v0, 1, go
+base:
+    ret v0
+go:
+    sub v1, v0, 1
+    call v2, pong(v1)
+    ret v2
+
+func pong(1):
+entry:
+    param v0, 0
+    call v1, ping(v0)
+    ret v1
+
+func main(0):
+entry:
+    li v0, 3
+    call v1, ping(v0)
+    print v1
+    ret
+""")
+    cg = CallGraph(mutual)
+    assert cg.is_recursive("ping")
+    assert cg.is_recursive("pong")
+    assert not cg.is_recursive("main")
+
+
+def test_leaf_functions():
+    cg = CallGraph(program())
+    assert "leaf" in cg.leaf_functions()
+    assert "main" not in cg.leaf_functions()

@@ -1,0 +1,129 @@
+"""CFG construction, orderings, dominators, and loops."""
+
+from repro.analysis import CFG, DominatorTree, Loop, find_loops, loop_depths
+from repro.isa import Function, IRBuilder
+
+
+def diamond() -> Function:
+    """entry -> (left | right) -> join."""
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(1)
+    b.beq(x, 0, "right")
+    b.start_block("left")
+    b.jmp("join")
+    b.start_block("right")
+    b.jmp("join")
+    b.start_block("join")
+    b.ret()
+    return fn
+
+
+def loop_fn() -> Function:
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    i = b.li(0)
+    b.jmp("head")
+    b.start_block("head")
+    b.add(i, 1, dest=i)
+    b.blt(i, 10, "head")
+    b.start_block("exit")
+    b.ret()
+    return fn
+
+
+def test_diamond_successors():
+    fn = diamond()
+    cfg = CFG(fn)
+    assert cfg.successors["entry"] == ["right", "left"]  # taken first
+    assert cfg.successors["left"] == ["join"]
+    assert cfg.successors["right"] == ["join"]
+    assert cfg.successors["join"] == []
+    assert sorted(cfg.predecessors["join"]) == ["left", "right"]
+
+
+def test_reverse_postorder_entry_first():
+    fn = diamond()
+    rpo = CFG(fn).reverse_postorder()
+    names = [blk.name for blk in rpo]
+    assert names[0] == "entry"
+    assert names[-1] == "join"
+    assert set(names) == {"entry", "left", "right", "join"}
+
+
+def test_unreachable_blocks_excluded():
+    fn = diamond()
+    dead = fn.add_block("dead")
+    from repro.isa import Instruction, Opcode
+
+    dead.append(Instruction(Opcode.RET))
+    cfg = CFG(fn)
+    assert "dead" not in cfg.reachable()
+
+
+def test_loop_back_edge_successor():
+    fn = loop_fn()
+    cfg = CFG(fn)
+    assert cfg.successors["head"] == ["head", "exit"]
+
+
+def test_dominators_diamond():
+    fn = diamond()
+    dom = DominatorTree(fn)
+    assert dom.idom["left"] == "entry"
+    assert dom.idom["right"] == "entry"
+    assert dom.idom["join"] == "entry"
+    assert dom.dominates("entry", "join")
+    assert not dom.dominates("left", "join")
+    assert dom.dominates("join", "join")
+
+
+def test_dominators_chain():
+    fn = loop_fn()
+    dom = DominatorTree(fn)
+    assert dom.idom["head"] == "entry"
+    assert dom.idom["exit"] == "head"
+    assert dom.dominates("head", "exit")
+    children = dom.children()
+    assert "head" in children["entry"]
+
+
+def test_find_loops_simple():
+    fn = loop_fn()
+    loops = find_loops(fn)
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.header == "head"
+    assert loop.body == {"head"}
+    assert loop.back_edges == ["head"]
+
+
+def test_loop_depths_nested():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    i = b.li(0)
+    b.jmp("outer")
+    b.start_block("outer")
+    j = b.li(0)
+    b.jmp("inner")
+    b.start_block("inner")
+    b.add(j, 1, dest=j)
+    b.blt(j, 4, "inner")
+    b.start_block("latch")
+    b.add(i, 1, dest=i)
+    b.blt(i, 4, "outer")
+    b.start_block("exit")
+    b.ret()
+    depths = loop_depths(fn)
+    assert depths["entry"] == 0
+    assert depths["outer"] == 1
+    assert depths["inner"] == 2
+    assert depths["latch"] == 1
+    assert depths["exit"] == 0
+
+
+def test_no_loops_in_diamond():
+    assert find_loops(diamond()) == []

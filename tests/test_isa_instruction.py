@@ -1,0 +1,87 @@
+"""Instruction construction, predicates, and rewriting."""
+
+from repro.isa import (
+    Imm,
+    Instruction,
+    Opcode,
+    Role,
+    make_li,
+    make_mov,
+    vreg,
+    fvreg,
+)
+from repro.isa.instruction import PROTECTION_ROLES
+
+
+def test_source_registers_skips_immediates():
+    instr = Instruction(Opcode.ADD, dest=vreg(2), srcs=(vreg(0), Imm(5)))
+    assert list(instr.source_registers()) == [vreg(0)]
+    assert list(instr.registers()) == [vreg(0), vreg(2)]
+
+
+def test_predicates():
+    load = Instruction(Opcode.LOAD, dest=vreg(1), srcs=(vreg(0), Imm(0)))
+    store = Instruction(Opcode.STORE, srcs=(vreg(0), Imm(0), vreg(1)))
+    branch = Instruction(Opcode.BEQ, srcs=(vreg(0), vreg(1)), label="x")
+    call = Instruction(Opcode.CALL, dest=vreg(2), callee="f")
+    out = Instruction(Opcode.PRINT, srcs=(vreg(0),))
+    assert load.reads_memory and not load.writes_memory
+    assert store.writes_memory and not store.reads_memory
+    assert branch.is_branch and branch.is_terminator
+    assert call.is_call
+    assert out.is_output
+
+
+def test_replace_sources():
+    instr = Instruction(Opcode.ADD, dest=vreg(2), srcs=(vreg(0), vreg(1)))
+    instr.replace_sources({vreg(0): vreg(10)})
+    assert instr.srcs == (vreg(10), vreg(1))
+    # Immediates pass through.
+    instr2 = Instruction(Opcode.ADD, dest=vreg(2), srcs=(vreg(0), Imm(3)))
+    instr2.replace_sources({vreg(0): vreg(9)})
+    assert instr2.srcs == (vreg(9), Imm(3))
+
+
+def test_clone_is_independent():
+    instr = Instruction(Opcode.ADD, dest=vreg(2), srcs=(vreg(0), vreg(1)),
+                        role=Role.REDUNDANT, value_bits=32)
+    clone = instr.clone()
+    assert clone == instr
+    assert clone is not instr
+    assert clone.role is Role.REDUNDANT
+    assert clone.value_bits == 32
+    clone.srcs = (vreg(5), vreg(6))
+    assert instr.srcs == (vreg(0), vreg(1))
+
+
+def test_structural_equality_ignores_role():
+    a = Instruction(Opcode.ADD, dest=vreg(2), srcs=(vreg(0), vreg(1)))
+    b = Instruction(Opcode.ADD, dest=vreg(2), srcs=(vreg(0), vreg(1)),
+                    role=Role.VOTE)
+    assert a == b
+    c = Instruction(Opcode.SUB, dest=vreg(2), srcs=(vreg(0), vreg(1)))
+    assert a != c
+
+
+def test_protection_roles():
+    assert Role.VOTE in PROTECTION_ROLES
+    assert Role.CHECK in PROTECTION_ROLES
+    assert Role.ORIGINAL not in PROTECTION_ROLES
+    assert Role.SPILL not in PROTECTION_ROLES
+    instr = Instruction(Opcode.NOP, role=Role.RECOVERY)
+    assert instr.is_protection
+
+
+def test_make_helpers():
+    mov = make_mov(vreg(1), vreg(0), Role.COPY)
+    assert mov.op is Opcode.MOV and mov.role is Role.COPY
+    fmov = make_mov(fvreg(1), fvreg(0), Role.COPY)
+    assert fmov.op is Opcode.FMOV
+    li = make_li(vreg(0), -7)
+    assert li.srcs[0].signed == -7
+
+
+def test_imm_wraps_to_64_bits():
+    assert Imm(-1).value == (1 << 64) - 1
+    assert Imm(-1).signed == -1
+    assert Imm(1 << 64).value == 0

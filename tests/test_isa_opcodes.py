@@ -1,0 +1,81 @@
+"""Opcode metadata sanity."""
+
+import pytest
+
+from repro.isa import ANTransparency, Opcode, OpKind
+from repro.isa.opcodes import MNEMONIC_TO_OPCODE, _OP_INFO
+
+
+def test_every_opcode_has_info():
+    for op in Opcode:
+        info = op.info
+        assert info.mnemonic
+        assert info.latency >= 1
+
+
+def test_mnemonics_unique_and_roundtrip():
+    assert len(MNEMONIC_TO_OPCODE) == len(list(Opcode))
+    for op in Opcode:
+        assert MNEMONIC_TO_OPCODE[op.info.mnemonic] is op
+
+
+@pytest.mark.parametrize("op", [Opcode.BEQ, Opcode.BNE, Opcode.BLT,
+                                Opcode.BGE, Opcode.JMP, Opcode.RET,
+                                Opcode.EXIT, Opcode.DETECT])
+def test_terminators(op):
+    assert op.info.is_terminator
+
+
+@pytest.mark.parametrize("op", [Opcode.ADD, Opcode.LOAD, Opcode.STORE,
+                                Opcode.CALL, Opcode.PRINT, Opcode.PARAM])
+def test_non_terminators(op):
+    assert not op.info.is_terminator
+
+
+def test_an_transparency_full_set():
+    full = {op for op in Opcode if op.info.an is ANTransparency.FULL}
+    assert full == {Opcode.ADD, Opcode.SUB, Opcode.NEG, Opcode.MOV,
+                    Opcode.LI}
+
+
+def test_an_transparency_const_set():
+    const = {op for op in Opcode if op.info.an is ANTransparency.CONST}
+    assert const == {Opcode.MUL, Opcode.SHL}
+
+
+def test_logical_ops_not_an_transparent():
+    """Paper Section 4.3: AN-codes do not propagate through logical ops."""
+    for op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.SHR,
+               Opcode.SRA, Opcode.DIV, Opcode.REM, Opcode.CMPEQ):
+        assert op.info.an is ANTransparency.NONE
+
+
+def test_arity_metadata():
+    assert Opcode.ADD.info.num_srcs == 2
+    assert Opcode.STORE.info.num_srcs == 3
+    assert Opcode.LOAD.info.num_srcs == 2
+    assert Opcode.NEG.info.num_srcs == 1
+    assert Opcode.JMP.info.num_srcs == 0
+    assert Opcode.CALL.info.num_srcs == -1  # variadic
+    assert Opcode.RET.info.num_srcs == -1
+
+
+def test_memory_kinds():
+    assert Opcode.LOAD.kind is OpKind.LOAD
+    assert Opcode.STORE.kind is OpKind.STORE
+    assert Opcode.FLOAD.info.touches_memory
+    assert Opcode.FSTORE.info.touches_memory
+    assert not Opcode.ADD.info.touches_memory
+
+
+def test_commutativity_flags():
+    assert Opcode.ADD.info.commutative
+    assert Opcode.MUL.info.commutative
+    assert not Opcode.SUB.info.commutative
+    assert not Opcode.SHL.info.commutative
+
+
+def test_latency_ordering():
+    """Divide is slow, multiply medium, simple ALU fast."""
+    assert Opcode.DIV.info.latency > Opcode.MUL.info.latency
+    assert Opcode.MUL.info.latency > Opcode.ADD.info.latency

@@ -1,0 +1,152 @@
+"""Assembly printer/parser round-trips."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from irgen import random_program
+from repro.errors import ParseError
+from repro.isa import (
+    Imm,
+    Instruction,
+    Opcode,
+    Role,
+    parse_instruction,
+    parse_program,
+    print_instruction,
+    print_program,
+    vreg,
+)
+
+
+CASES = [
+    "add v2, v0, v1",
+    "add v2, v0, -5",
+    "li v0, -9223372036854775808",
+    "mov v1, v0",
+    "load v3, [v4 + 8]",
+    "load v3, [v4 + -16]",
+    "store [v4 + 0], v2",
+    "store [v4 + 24], -1",
+    "fload fv1, [v0 + 8]",
+    "fstore [v0 + 8], fv1",
+    "beq v0, v1, .L1",
+    "bne v0, 0, loop",
+    "blt v0, 63, loop",
+    "bge v9, v8, done",
+    "jmp exit",
+    "call v3, foo(v1, v2)",
+    "call bar()",
+    "ret v0",
+    "ret",
+    "param v0, 0",
+    "print v2",
+    "fprint fv0",
+    "exit 0",
+    "detect",
+    "nop",
+    "fadd fv2, fv0, fv1",
+    "cvtif fv0, v1",
+    "cvtfi v1, fv0",
+    "shl v1, v0, 3",
+    "cmpltu v2, v0, v1",
+]
+
+
+@pytest.mark.parametrize("text", CASES)
+def test_instruction_roundtrip(text):
+    instr = parse_instruction(text)
+    printed = print_instruction(instr)
+    again = parse_instruction(printed)
+    assert again == instr
+
+
+def test_annotations_roundtrip():
+    instr = parse_instruction("mov v1, v0    ; role=dup bits=32")
+    assert instr.role is Role.REDUNDANT
+    assert instr.value_bits == 32
+    reparsed = parse_instruction(print_instruction(instr))
+    assert reparsed.role is Role.REDUNDANT
+    assert reparsed.value_bits == 32
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(ParseError):
+        parse_instruction("frobnicate v0, v1")
+
+
+def test_unknown_role():
+    with pytest.raises(ParseError):
+        parse_instruction("nop ; role=banana")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(ParseError):
+        parse_instruction("load v0, v1")
+
+
+def test_program_roundtrip_fixture(simple_program):
+    text = print_program(simple_program)
+    reparsed = parse_program(text)
+    assert print_program(reparsed) == text
+
+
+def test_program_roundtrip_negative_and_float_globals():
+    text = "\n".join([
+        "global counts[2] = -5, 12",
+        "globalf weights[2] = 1.5, -0.25",
+        "",
+        "func main(0):",
+        "entry:",
+        "    ret",
+        "",
+    ])
+    program = parse_program(text)
+    assert program.globals["counts"].init == [-5, 12]
+    assert program.globals["weights"].init == [1.5, -0.25]
+    assert print_program(parse_program(print_program(program))) == \
+        print_program(program)
+
+
+def test_function_signature_roundtrip():
+    text = "\n".join([
+        "func mix(3) [ifi] -> float:",
+        "entry:",
+        "    param fv0, 1",
+        "    ret fv0",
+        "",
+        "func main(0):",
+        "entry:",
+        "    ret",
+    ])
+    program = parse_program(text)
+    fn = program.function("mix")
+    assert fn.num_params == 3
+    assert fn.returns_float
+    assert fn.param_is_float == (False, True, False)
+    assert print_program(parse_program(print_program(program))) == \
+        print_program(program)
+
+
+def test_label_outside_function():
+    with pytest.raises(ParseError):
+        parse_program("entry:\n    ret\n")
+
+
+def test_instruction_outside_block():
+    with pytest.raises(ParseError):
+        parse_program("func main(0):\n    ret\n")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_program_roundtrip(seed):
+    """print -> parse -> print is a fixed point on generated programs."""
+    program = random_program(seed, num_blocks=3, instrs_per_block=6)
+    text = print_program(program)
+    assert print_program(parse_program(text)) == text
+
+
+def test_repr_uses_printer():
+    instr = Instruction(Opcode.ADD, dest=vreg(1), srcs=(vreg(0), Imm(2)))
+    assert repr(instr) == "add v1, v0, 2"

@@ -1,0 +1,108 @@
+"""Register interning, classes, pools."""
+
+import copy
+
+import pytest
+
+from repro.isa import (
+    NUM_GPRS,
+    Register,
+    RegisterPool,
+    SP,
+    allocatable_fprs,
+    allocatable_gprs,
+    fpr,
+    fvreg,
+    gpr,
+    parse_register,
+    vreg,
+)
+
+
+def test_interning_identity():
+    assert gpr(3) is gpr(3)
+    assert vreg(7) is vreg(7)
+    assert fpr(2) is fpr(2)
+    assert fvreg(9) is fvreg(9)
+
+
+def test_distinct_classes_distinct_objects():
+    assert gpr(3) is not vreg(3)
+    assert gpr(3) is not fpr(3)
+    assert vreg(3) is not fvreg(3)
+
+
+def test_names():
+    assert gpr(5).name == "r5"
+    assert vreg(12).name == "v12"
+    assert fpr(0).name == "f0"
+    assert fvreg(4).name == "fv4"
+
+
+def test_class_predicates():
+    assert gpr(0).is_int and gpr(0).is_physical
+    assert vreg(0).is_int and vreg(0).is_virtual
+    assert fpr(0).is_float and fpr(0).is_physical
+    assert fvreg(0).is_float and fvreg(0).is_virtual
+
+
+def test_stack_pointer():
+    assert SP is gpr(1)
+    assert SP.is_stack_pointer
+    assert not gpr(2).is_stack_pointer
+    assert not vreg(1).is_stack_pointer
+
+
+def test_physical_range_checked():
+    with pytest.raises(ValueError):
+        gpr(NUM_GPRS)
+    with pytest.raises(ValueError):
+        fpr(-1)
+
+
+def test_parse_register():
+    assert parse_register("r31") is gpr(31)
+    assert parse_register("v100") is vreg(100)
+    assert parse_register("f7") is fpr(7)
+    assert parse_register("fv3") is fvreg(3)
+    with pytest.raises(ValueError):
+        parse_register("x5")
+
+
+def test_deepcopy_preserves_interning():
+    reg = vreg(5)
+    assert copy.deepcopy(reg) is reg
+    assert copy.copy(reg) is reg
+
+
+def test_pool_fresh_registers():
+    pool = RegisterPool()
+    a = pool.new_int()
+    b = pool.new_int()
+    f = pool.new_float()
+    assert a is not b
+    assert a.is_int and f.is_float
+    assert pool.num_int == 2
+    assert pool.num_float == 1
+
+
+def test_pool_new_like():
+    pool = RegisterPool()
+    assert pool.new_like(vreg(0)).is_int
+    assert pool.new_like(fvreg(0)).is_float
+
+
+def test_pool_reservation():
+    pool = RegisterPool()
+    pool.reserve_at_least(10, 5)
+    assert pool.new_int().index == 10
+    assert pool.new_float().index == 5
+    # Reserving less never moves backwards.
+    pool.reserve_at_least(2, 1)
+    assert pool.new_int().index == 11
+
+
+def test_allocatable_pools_exclude_sp():
+    assert SP not in allocatable_gprs()
+    assert len(allocatable_gprs()) == NUM_GPRS - 1
+    assert len(allocatable_fprs()) == 32

@@ -1,0 +1,120 @@
+"""Blocks, functions, programs, and the IR builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.isa import (
+    Function,
+    GLOBAL_BASE,
+    IRBuilder,
+    Opcode,
+    Program,
+    verify_program,
+)
+
+
+def test_block_terminator_views():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    b.li(1)
+    b.li(2)
+    b.ret()
+    blk = fn.entry
+    assert blk.terminator.op is Opcode.RET
+    assert len(blk.body) == 2
+    assert not blk.falls_through
+
+
+def test_conditional_branch_falls_through():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(1)
+    b.beq(x, 0, "other")
+    b.start_block("mid")
+    b.jmp("other")
+    b.start_block("other")
+    b.ret()
+    assert fn.blocks[0].falls_through
+    assert not fn.blocks[1].falls_through
+    assert list(fn.blocks[0].branch_targets()) == ["other"]
+
+
+def test_duplicate_block_names_rejected():
+    fn = Function("f")
+    fn.add_block("entry")
+    with pytest.raises(IRError):
+        fn.add_block("entry")
+
+
+def test_new_label_avoids_existing_and_reserved():
+    fn = Function("f")
+    fn.add_block(".L1")
+    fn.reserve_labels({".L2"})
+    label = fn.new_label()
+    assert label not in (".L1", ".L2")
+
+
+def test_insert_block_after():
+    fn = Function("f")
+    a = fn.add_block("a")
+    c = fn.add_block("c")
+    b = fn.insert_block_after(a, "b")
+    assert [blk.name for blk in fn.blocks] == ["a", "b", "c"]
+
+
+def test_renumber_pool_reserves_used_registers():
+    from repro.isa import Instruction, vreg
+
+    fn = Function("f")
+    blk = fn.add_block("entry")
+    blk.append(Instruction(Opcode.MOV, dest=vreg(41), srcs=(vreg(40),)))
+    blk.append(Instruction(Opcode.RET))
+    fn.renumber_pool()
+    assert fn.pool.new_int().index == 42
+
+
+def test_program_globals_layout():
+    program = Program()
+    a = program.add_global("a", 4)
+    b = program.add_global("b", 2, [7, 8])
+    program.assign_addresses()
+    assert a.address == GLOBAL_BASE
+    assert b.address == GLOBAL_BASE + 32
+    assert program.global_segment_bytes() == 48
+    assert program.address_of("b") == b.address
+
+
+def test_program_duplicate_names_rejected():
+    program = Program()
+    program.add_global("g", 1)
+    with pytest.raises(IRError):
+        program.add_global("g", 2)
+    program.add_function(Function("f"))
+    with pytest.raises(IRError):
+        program.add_function(Function("f"))
+
+
+def test_global_initializer_bounds():
+    program = Program()
+    with pytest.raises(IRError):
+        program.add_global("g", 1, [1, 2, 3])
+    with pytest.raises(IRError):
+        program.add_global("h", 0)
+
+
+def test_entry_function_lookup():
+    program = Program()
+    with pytest.raises(IRError):
+        _ = program.entry_function
+    program.add_function(Function("main"))
+    assert program.entry_function.name == "main"
+
+
+def test_verify_accepts_fixture(simple_program):
+    verify_program(simple_program)
+
+
+def test_num_instructions(simple_program):
+    assert simple_program.num_instructions() > 10

@@ -1,0 +1,159 @@
+"""The IR verifier catches each class of malformed IR."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.isa import (
+    Function,
+    Imm,
+    Instruction,
+    Opcode,
+    Program,
+    fvreg,
+    verify_function,
+    verify_program,
+    vreg,
+)
+
+
+def _fn_with(instrs, name="f") -> Function:
+    fn = Function(name)
+    blk = fn.add_block("entry")
+    blk.extend(instrs)
+    return fn
+
+
+def test_missing_entry_function():
+    program = Program()
+    program.add_function(Function("helper"))
+    program.functions["helper"].add_block("entry").append(
+        Instruction(Opcode.RET)
+    )
+    with pytest.raises(VerificationError, match="entry"):
+        verify_program(program)
+
+
+def test_empty_function():
+    with pytest.raises(VerificationError, match="no blocks"):
+        verify_function(Function("f"))
+
+
+def test_empty_block():
+    fn = Function("f")
+    fn.add_block("entry")
+    with pytest.raises(VerificationError, match="empty block"):
+        verify_function(fn)
+
+
+def test_block_without_terminator():
+    fn = _fn_with([Instruction(Opcode.NOP)])
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(fn)
+
+
+def test_terminator_mid_block():
+    fn = _fn_with([Instruction(Opcode.RET), Instruction(Opcode.NOP),
+                   Instruction(Opcode.RET)])
+    with pytest.raises(VerificationError, match="not at end"):
+        verify_function(fn)
+
+
+def test_dangling_label():
+    fn = _fn_with([Instruction(Opcode.JMP, label="nowhere")])
+    with pytest.raises(VerificationError, match="dangling"):
+        verify_function(fn)
+
+
+def test_final_block_cannot_fall_off():
+    fn = _fn_with([
+        Instruction(Opcode.BEQ, srcs=(vreg(0), vreg(1)), label="entry"),
+    ])
+    with pytest.raises(VerificationError, match="fall"):
+        verify_function(fn)
+
+
+def test_arity_mismatch():
+    fn = _fn_with([
+        Instruction(Opcode.ADD, dest=vreg(0), srcs=(vreg(1),)),
+        Instruction(Opcode.RET),
+    ])
+    with pytest.raises(VerificationError, match="expects 2"):
+        verify_function(fn)
+
+
+def test_missing_dest():
+    fn = _fn_with([
+        Instruction(Opcode.ADD, srcs=(vreg(0), vreg(1))),
+        Instruction(Opcode.RET),
+    ])
+    with pytest.raises(VerificationError, match="destination"):
+        verify_function(fn)
+
+
+def test_unwanted_dest():
+    fn = _fn_with([
+        Instruction(Opcode.PRINT, dest=vreg(0), srcs=(vreg(1),)),
+        Instruction(Opcode.RET),
+    ])
+    with pytest.raises(VerificationError, match="cannot have"):
+        verify_function(fn)
+
+
+def test_register_class_mismatch_dest():
+    fn = _fn_with([
+        Instruction(Opcode.FADD, dest=vreg(0), srcs=(fvreg(0), fvreg(1))),
+        Instruction(Opcode.RET),
+    ])
+    with pytest.raises(VerificationError, match="float register"):
+        verify_function(fn)
+
+
+def test_register_class_mismatch_src():
+    fn = _fn_with([
+        Instruction(Opcode.ADD, dest=vreg(0), srcs=(fvreg(0), vreg(1))),
+        Instruction(Opcode.RET),
+    ])
+    with pytest.raises(VerificationError, match="int register"):
+        verify_function(fn)
+
+
+def test_call_unknown_function(simple_program):
+    fn = simple_program.function("main")
+    fn.entry.instructions.insert(
+        0, Instruction(Opcode.CALL, dest=vreg(90), callee="missing")
+    )
+    with pytest.raises(VerificationError, match="unknown"):
+        verify_program(simple_program)
+
+
+def test_call_arity_checked(simple_program):
+    fn = simple_program.function("main")
+    fn.entry.instructions.insert(
+        0, Instruction(Opcode.CALL, dest=vreg(90), callee="triple")
+    )
+    with pytest.raises(VerificationError, match="args"):
+        verify_program(simple_program)
+
+
+def test_require_physical(simple_program):
+    with pytest.raises(VerificationError, match="virtual register"):
+        verify_program(simple_program, require_physical=True)
+
+
+def test_load_offset_must_be_immediate():
+    fn = _fn_with([
+        Instruction(Opcode.LOAD, dest=vreg(0), srcs=(vreg(1), vreg(2))),
+        Instruction(Opcode.RET),
+    ])
+    with pytest.raises(VerificationError, match="immediate"):
+        verify_function(fn)
+
+
+def test_label_on_non_branch():
+    fn = _fn_with([
+        Instruction(Opcode.ADD, dest=vreg(0), srcs=(vreg(1), Imm(1)),
+                    label="entry"),
+        Instruction(Opcode.RET),
+    ])
+    with pytest.raises(VerificationError, match="carry a label"):
+        verify_function(fn)

@@ -1,0 +1,69 @@
+"""Mini-C lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("int intx for fortune")
+    assert tokens[0].kind is TokenKind.KEYWORD
+    assert tokens[1].kind is TokenKind.IDENT
+    assert tokens[2].kind is TokenKind.KEYWORD
+    assert tokens[3].kind is TokenKind.IDENT
+
+
+def test_numbers():
+    tokens = tokenize("42 0x1F 3.5 1e3 2.5e-2 0")
+    assert [t.kind for t in tokens[:-1]] == [
+        TokenKind.INT, TokenKind.INT, TokenKind.FLOAT, TokenKind.FLOAT,
+        TokenKind.FLOAT, TokenKind.INT,
+    ]
+    assert tokens[0].int_value == 42
+    assert tokens[1].int_value == 31
+    assert tokens[2].float_value == 3.5
+    assert tokens[3].float_value == 1000.0
+
+
+def test_multichar_operators_maximal_munch():
+    assert texts("a <<= b >> c >= d == e && f ++ --") == [
+        "a", "<<=", "b", ">>", "c", ">=", "d", "==", "e", "&&", "f",
+        "++", "--",
+    ]
+
+
+def test_comments_skipped():
+    assert texts("a // line comment\n b /* block\n comment */ c") == \
+        ["a", "b", "c"]
+
+
+def test_line_numbers_track_newlines_and_block_comments():
+    tokens = tokenize("a\nb /* x\ny */ c")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[2].line == 3
+
+
+def test_unterminated_comment():
+    with pytest.raises(ParseError, match="unterminated"):
+        tokenize("a /* oops")
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError, match="unexpected"):
+        tokenize("a @ b")
+
+
+def test_eof_token_always_last():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF

@@ -1,0 +1,134 @@
+"""Mini-C parser: structure, precedence, and error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import parse
+from repro.lang import cast as ast
+
+
+def parse_expr(text):
+    unit = parse("int main() { return " + text + "; }")
+    stmt = unit.functions[0].body.statements[0]
+    return stmt.value
+
+
+def test_precedence_mul_over_add():
+    expr = parse_expr("1 + 2 * 3")
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+
+def test_precedence_shift_below_add():
+    expr = parse_expr("1 << 2 + 3")
+    assert expr.op == "<<"
+    assert expr.right.op == "+"
+
+
+def test_precedence_compare_below_shift():
+    expr = parse_expr("1 << 2 < 3")
+    assert expr.op == "<"
+    assert expr.left.op == "<<"
+
+
+def test_logical_layering():
+    expr = parse_expr("a && b || c & d")
+    assert expr.op == "||"
+    assert expr.left.op == "&&"
+    assert expr.right.op == "&"
+
+
+def test_left_associativity():
+    expr = parse_expr("10 - 4 - 3")
+    assert expr.op == "-"
+    assert isinstance(expr.left, ast.Binary) and expr.left.op == "-"
+    assert expr.right.value == 3
+
+
+def test_assignment_right_associative():
+    unit = parse("int main() { int a; int b; a = b = 1; return a; }")
+    assign = unit.functions[0].body.statements[2].expr
+    assert isinstance(assign, ast.Assign)
+    assert isinstance(assign.value, ast.Assign)
+
+
+def test_ternary():
+    expr = parse_expr("a ? b : c ? d : e")
+    assert isinstance(expr, ast.Conditional)
+    assert isinstance(expr.otherwise, ast.Conditional)
+
+
+def test_unary_and_cast():
+    expr = parse_expr("-(int)x")
+    assert isinstance(expr, ast.Unary) and expr.op == "-"
+    assert isinstance(expr.operand, ast.Cast)
+    assert expr.operand.target == ast.INT
+
+
+def test_index_and_call_postfix():
+    expr = parse_expr("table[f(1, 2)]")
+    assert isinstance(expr, ast.Index)
+    assert isinstance(expr.index, ast.Call)
+    assert expr.index.callee == "f"
+    assert len(expr.index.args) == 2
+
+
+def test_pointer_types_and_params():
+    unit = parse("int sum(int *p, float f) { return 0; } int main(){return 0;}")
+    params = unit.functions[0].params
+    assert params[0].type.pointer
+    assert params[1].type.is_float
+
+
+def test_global_arrays_and_initializers():
+    unit = parse("int t[3] = { 1, -2, 3 }; float f = 2.5; int main(){return 0;}")
+    table = unit.globals[0]
+    assert table.array_size == 3
+    assert table.init == [1, -2, 3]
+    assert unit.globals[1].init == [2.5]
+
+
+def test_float_initializer_for_int_rejected():
+    with pytest.raises(ParseError):
+        parse("int x = 1.5; int main(){return 0;}")
+
+
+def test_statements_all_forms():
+    unit = parse("""
+int main() {
+    int x = 0;
+    if (x) { x = 1; } else x = 2;
+    while (x < 10) { x++; }
+    do { x--; } while (x > 0);
+    for (int i = 0; i < 4; i++) { if (i == 2) continue; if (i == 3) break; }
+    return x;
+}
+""")
+    body = unit.functions[0].body.statements
+    assert isinstance(body[1], ast.If)
+    assert isinstance(body[2], ast.While) and not body[2].is_do_while
+    assert isinstance(body[3], ast.While) and body[3].is_do_while
+    assert isinstance(body[4], ast.For)
+
+
+def test_for_with_empty_clauses():
+    unit = parse("int main() { for (;;) { break; } return 0; }")
+    loop = unit.functions[0].body.statements[0]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError, match="expected"):
+        parse("int main() { int x = 1 return x; }")
+
+
+def test_unterminated_block():
+    with pytest.raises(ParseError, match="unterminated|expected"):
+        parse("int main() { int x = 1;")
+
+
+def test_compound_assignment_ops():
+    for op in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="):
+        unit = parse(f"int main() {{ int a = 4; a {op} 2; return a; }}")
+        assign = unit.functions[0].body.statements[1].expr
+        assert assign.op == op

@@ -1,0 +1,282 @@
+"""Functional simulator semantics: opcode by opcode, plus control flow,
+pause/resume, traps, and fault flipping."""
+
+import pytest
+
+from repro.isa import (
+    Function,
+    IRBuilder,
+    Imm,
+    MASK64,
+    Program,
+    parse_program,
+)
+from repro.sim import Machine, RunStatus, TrapKind, run_program
+
+
+def run_main(body_builder):
+    """Build main with the given builder callback and run it."""
+    program = Program()
+    fn = Function("main")
+    program.add_function(fn)
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    body_builder(b, program)
+    return run_program(program)
+
+
+INT_MIN = -(1 << 63)
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("add", 2, 3, 5),
+    ("add", (1 << 63) - 1, 1, INT_MIN),        # signed overflow wraps
+    ("sub", 2, 3, -1),
+    ("mul", -4, 5, -20),
+    ("mul", 1 << 62, 4, 0),                    # wraps mod 2**64
+    ("div", 7, 2, 3),
+    ("div", -7, 2, -3),                        # C-style truncation
+    ("div", 7, -2, -3),
+    ("div", -7, -2, 3),
+    ("rem", 7, 3, 1),
+    ("rem", -7, 3, -1),                        # sign follows dividend
+    ("rem", 7, -3, 1),
+    ("and", 0b1100, 0b1010, 0b1000),
+    ("or", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("shl", 1, 63, INT_MIN),
+    ("shl", 1, 64, 1),                         # amounts taken mod 64
+    ("shr", -1, 60, 15),                       # logical: zero fill
+    ("sra", -16, 2, -4),                       # arithmetic: sign fill
+    ("sra", 16, 2, 4),
+    ("cmpeq", 3, 3, 1),
+    ("cmpne", 3, 3, 0),
+    ("cmplt", -1, 0, 1),                       # signed compare
+    ("cmplt", 1, 0, 0),
+    ("cmple", 3, 3, 1),
+    ("cmpgt", 0, -5, 1),
+    ("cmpge", -5, -5, 1),
+    ("cmpltu", -1, 0, 0),                      # unsigned: -1 is huge
+    ("cmpgeu", -1, 0, 1),
+])
+def test_binary_semantics(op, a, b, expected):
+    method = {"and": "and_", "or": "or_"}.get(op, op)
+
+    def body(builder, program):
+        x = builder.li(a)
+        y = builder.li(b)
+        builder.print_(getattr(builder, method)(x, y))
+        builder.ret()
+
+    result = run_main(body)
+    assert result.output == [expected]
+
+
+def test_neg_and_not():
+    def body(b, p):
+        x = b.li(5)
+        b.print_(b.neg(x))
+        b.print_(b.not_(x))
+        b.ret()
+
+    assert run_main(body).output == [-5, ~5]
+
+
+def test_div_by_zero_traps():
+    def body(b, p):
+        x = b.li(1)
+        z = b.li(0)
+        b.print_(b.div(x, z))
+        b.ret()
+
+    result = run_main(body)
+    assert result.status is RunStatus.TRAPPED
+    assert result.trap_kind is TrapKind.DIV_BY_ZERO
+
+
+def test_rem_by_zero_traps():
+    def body(b, p):
+        x = b.li(1)
+        z = b.li(0)
+        b.print_(b.rem(x, z))
+        b.ret()
+
+    assert run_main(body).trap_kind is TrapKind.DIV_BY_ZERO
+
+
+def test_float_ops_and_conversions():
+    def body(b, p):
+        x = b.fli(1.5)
+        y = b.fli(2.0)
+        b.fprint(b.fadd(x, y))
+        b.fprint(b.fsub(x, y))
+        b.fprint(b.fmul(x, y))
+        b.fprint(b.fdiv(x, y))
+        i = b.li(-3)
+        f = b.cvtif(i)
+        b.fprint(f)
+        b.print_(b.cvtfi(b.fli(7.9)))     # truncates toward zero
+        b.print_(b.fcmplt(x, y))
+        b.print_(b.fcmpeq(x, x))
+        b.ret()
+
+    result = run_main(body)
+    assert result.output == [3.5, -0.5, 3.0, 0.75, -3.0, 7, 1, 1]
+
+
+def test_float_div_by_zero_is_ieee():
+    def body(b, p):
+        x = b.fli(1.0)
+        z = b.fli(0.0)
+        b.fprint(b.fdiv(x, z))
+        b.fprint(b.fdiv(b.fneg(x), z))
+        b.ret()
+
+    out = run_main(body).output
+    assert out[0] == float("inf")
+    assert out[1] == float("-inf")
+
+
+def test_cvtfi_of_inf_traps():
+    def body(b, p):
+        x = b.fli(1.0)
+        z = b.fli(0.0)
+        b.print_(b.cvtfi(b.fdiv(x, z)))
+        b.ret()
+
+    assert run_main(body).trap_kind is TrapKind.BAD_CONVERT
+
+
+def test_exit_code():
+    def body(b, p):
+        b.exit_(3)
+
+    result = run_main(body)
+    assert result.status is RunStatus.EXITED
+    assert result.exit_code == 3
+
+
+def test_detect_terminates_with_detected():
+    program = parse_program("""
+func main(0):
+entry:
+    detect
+""")
+    assert run_program(program).status is RunStatus.DETECTED
+
+
+def test_segfault_on_wild_load():
+    def body(b, p):
+        addr = b.li(0xDEAD0000)
+        b.print_(b.load(addr))
+        b.ret()
+
+    result = run_main(body)
+    assert result.status is RunStatus.TRAPPED
+    assert result.trap_kind is TrapKind.SEGFAULT
+
+
+def test_hang_detection():
+    program = parse_program("""
+func main(0):
+entry:
+    jmp entry
+""")
+    result = run_program(program, max_instructions=1000)
+    assert result.status is RunStatus.HANG
+    assert result.instructions == 1000
+
+
+def test_pause_resume_exactness(simple_program, simple_golden):
+    machine = Machine(simple_program)
+    machine.reset()
+    first = machine.run(10)
+    assert first.status is RunStatus.PAUSED
+    assert machine.icount == 10
+    second = machine.run(25)
+    assert machine.icount == 25
+    final = machine.run(None)
+    assert final.status is RunStatus.EXITED
+    assert final.output == simple_golden.output
+    assert final.instructions == simple_golden.instructions
+
+
+def test_pause_at_every_boundary_gives_same_result(simple_program,
+                                                   simple_golden):
+    total = simple_golden.instructions
+    machine = Machine(simple_program)
+    for split in (1, total // 3, total - 1):
+        machine.reset()
+        machine.run(split)
+        final = machine.run(None)
+        assert final.output == simple_golden.output
+
+
+def test_flip_register_bit():
+    program = parse_program("""
+func main(0):
+entry:
+    li r5, 0
+    print r5
+    ret
+""")
+    machine = Machine(program)
+    machine.reset()
+    machine.run(1)                 # after li
+    machine.flip_register_bit(5, 7)
+    result = machine.run(None)
+    assert result.output == [128]
+
+
+def test_reset_restores_memory_and_registers(simple_program):
+    machine = Machine(simple_program)
+    first = machine.run(None)
+    machine.reset()
+    second = machine.run(None)
+    assert first.output == second.output
+    assert first.instructions == second.instructions
+
+
+def test_call_and_param_passing():
+    program = parse_program("""
+func addmul(3):
+entry:
+    param v0, 0
+    param v1, 1
+    param v2, 2
+    mul v3, v1, v2
+    add v4, v0, v3
+    ret v4
+
+func main(0):
+entry:
+    li v0, 10
+    li v1, 4
+    li v2, 5
+    call v3, addmul(v0, v1, v2)
+    print v3
+    ret
+""")
+    assert run_program(program).output == [30]
+
+
+def test_void_call_and_immediate_args():
+    program = parse_program("""
+func emit(1):
+entry:
+    param v0, 0
+    print v0
+    ret
+
+func main(0):
+entry:
+    call emit(42)
+    ret
+""")
+    assert run_program(program).output == [42]
+
+
+def test_main_return_ends_program(simple_program):
+    result = run_program(simple_program)
+    assert result.status is RunStatus.EXITED
+    assert result.exit_code == 0

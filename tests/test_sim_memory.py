@@ -1,0 +1,76 @@
+"""Guest memory: segments, alignment, typed access."""
+
+import pytest
+
+from repro.isa import GLOBAL_BASE, HEAP_BASE, Program, STACK_TOP
+from repro.sim import GuestTrap, Memory, bits_to_float, float_to_bits
+
+
+def test_segments_mapped():
+    mem = Memory(global_bytes=64)
+    mem.check(GLOBAL_BASE)
+    mem.check(GLOBAL_BASE + 56)
+    mem.check(HEAP_BASE)
+    mem.check(STACK_TOP - 8)
+
+
+def test_unmapped_addresses_trap():
+    mem = Memory(global_bytes=64)
+    for addr in (0, 8, GLOBAL_BASE - 8, GLOBAL_BASE + 64,
+                 HEAP_BASE - 8, STACK_TOP, 1 << 40):
+        with pytest.raises(GuestTrap):
+            mem.check(addr)
+        assert not mem.is_valid(addr)
+
+
+def test_misaligned_access_traps():
+    mem = Memory(global_bytes=64)
+    for misalign in range(1, 8):
+        with pytest.raises(GuestTrap):
+            mem.check(GLOBAL_BASE + misalign)
+
+
+def test_int_store_load():
+    mem = Memory(global_bytes=64)
+    mem.store_int(GLOBAL_BASE, -1)
+    assert mem.load_int(GLOBAL_BASE) == (1 << 64) - 1
+    assert mem.load_int(GLOBAL_BASE + 8) == 0  # untouched cells read 0
+
+
+def test_float_store_load():
+    mem = Memory(global_bytes=64)
+    mem.store_float(GLOBAL_BASE, 2.5)
+    assert mem.load_float(GLOBAL_BASE) == 2.5
+
+
+def test_type_punning_is_bit_exact():
+    mem = Memory(global_bytes=64)
+    mem.store_float(GLOBAL_BASE, 1.0)
+    bits = mem.load_int(GLOBAL_BASE)
+    assert bits == float_to_bits(1.0)
+    mem.store_int(GLOBAL_BASE + 8, float_to_bits(-3.75))
+    assert mem.load_float(GLOBAL_BASE + 8) == -3.75
+
+
+def test_bits_float_roundtrip():
+    for value in (0.0, 1.0, -1.0, 3.14159, 1e300, -1e-300):
+        assert bits_to_float(float_to_bits(value)) == value
+
+
+def test_for_program_initialises_globals():
+    program = Program()
+    program.add_global("a", 2, [11, 22])
+    program.add_global("f", 1, [1.5], is_float=True)
+    mem = Memory.for_program(program)
+    assert mem.load_int(program.address_of("a")) == 11
+    assert mem.load_int(program.address_of("a") + 8) == 22
+    assert mem.load_float(program.address_of("f")) == 1.5
+
+
+def test_snapshot_is_a_copy():
+    mem = Memory(global_bytes=64)
+    mem.store_int(GLOBAL_BASE, 5)
+    snap = mem.snapshot()
+    mem.store_int(GLOBAL_BASE, 9)
+    assert snap[GLOBAL_BASE] == 5
+    assert mem.words_used() == 1

@@ -1,0 +1,126 @@
+"""The in-order superscalar timing model."""
+
+import pytest
+
+from repro.isa import Function, IRBuilder, Program
+from repro.sim import (
+    Machine,
+    RunStatus,
+    TimingConfig,
+    TimingSimulator,
+    measure_cycles,
+)
+
+
+def chain_program(dependent: bool, length: int = 60) -> Program:
+    """Either one long dependence chain or many independent adds."""
+    program = Program()
+    fn = Function("main")
+    program.add_function(fn)
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    if dependent:
+        acc = b.li(0)
+        for _ in range(length):
+            acc = b.add(acc, 1, dest=acc)
+        b.print_(acc)
+    else:
+        regs = [b.add(b.li(i), 1) for i in range(length // 2)]
+        b.print_(regs[-1])
+    b.ret()
+    return program
+
+
+def test_width_limits_independent_work():
+    wide = measure_cycles(chain_program(dependent=False),
+                          TimingConfig(width=4))
+    narrow = measure_cycles(chain_program(dependent=False),
+                            TimingConfig(width=1))
+    # The li/add pairs are pairwise dependent, so width 4 sustains about
+    # two instructions per cycle while width 1 issues exactly one.
+    assert narrow.cycles >= wide.cycles * 1.8
+
+
+def test_dependent_chain_defeats_width():
+    wide = measure_cycles(chain_program(dependent=True),
+                          TimingConfig(width=4))
+    narrow = measure_cycles(chain_program(dependent=True),
+                            TimingConfig(width=1))
+    # A serial chain issues one per cycle regardless of width.
+    assert wide.cycles >= 0.8 * narrow.cycles
+
+
+def test_ipc_reported():
+    result = measure_cycles(chain_program(dependent=False))
+    assert result.ipc > 1.0
+    result2 = measure_cycles(chain_program(dependent=True))
+    assert result2.ipc <= result.ipc
+
+
+def cache_program(stride_words: int, accesses: int = 128) -> Program:
+    program = Program()
+    program.add_global("arr", 2048)
+    fn = Function("main")
+    program.add_function(fn)
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    program.assign_addresses()
+    base = b.li(program.address_of("arr"))
+    i = b.li(0)
+    total = b.li(0)
+    b.jmp("loop")
+    b.start_block("loop")
+    offset = b.shl(i, 3)
+    addr = b.add(base, offset)
+    v = b.load(addr)
+    b.add(total, v, dest=total)
+    b.add(i, stride_words, dest=i)
+    b.blt(i, stride_words * accesses, "loop")
+    b.start_block("done")
+    b.print_(total)
+    b.ret()
+    return program
+
+
+def test_cache_hits_vs_misses():
+    # Stride 1 word: 8 accesses per 64B line -> few misses.
+    sequential = measure_cycles(cache_program(stride_words=1))
+    # Stride 8 words = one line per access -> every access misses.
+    strided = measure_cycles(cache_program(stride_words=8))
+    assert sequential.loads == strided.loads
+    assert strided.load_misses > sequential.load_misses * 4
+    assert strided.cycles > sequential.cycles
+
+
+def test_miss_penalty_configurable():
+    cheap = measure_cycles(cache_program(8), TimingConfig(miss_penalty=2))
+    dear = measure_cycles(cache_program(8), TimingConfig(miss_penalty=60))
+    assert dear.cycles > cheap.cycles
+
+
+def test_role_counts_accumulate(simple_program):
+    from repro.transform import Technique, allocate_program, protect
+
+    binary = allocate_program(protect(simple_program, Technique.SWIFTR))
+    result = TimingSimulator(Machine(binary)).run()
+    assert result.status is RunStatus.EXITED
+    assert result.role_counts.get("orig", 0) > 0
+    assert result.role_counts.get("dup", 0) > 0
+    assert result.role_counts.get("dup2", 0) > 0
+    assert result.role_counts.get("vote", 0) > 0
+    assert sum(result.role_counts.values()) == result.instructions
+
+
+def test_timing_matches_functional_execution(simple_program,
+                                             simple_golden):
+    machine = Machine(simple_program)
+    result = TimingSimulator(machine).run()
+    assert result.instructions == simple_golden.instructions
+    assert machine.output == simple_golden.output
+
+
+def test_taken_branch_penalty():
+    loopy = cache_program(stride_words=1, accesses=64)
+    cheap = measure_cycles(loopy, TimingConfig(taken_branch_penalty=0))
+    dear = measure_cycles(loopy, TimingConfig(taken_branch_penalty=6))
+    assert dear.cycles > cheap.cycles + 5 * 60

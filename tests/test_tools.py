@@ -1,0 +1,124 @@
+"""Developer tooling: tracer, profiler, CLI."""
+
+import pytest
+
+from repro.eval.profile import (
+    overhead_by_function,
+    profile_workload,
+    render_profile,
+)
+from repro.sim import Machine
+from repro.sim.trace import format_trace, trace_execution
+from repro.transform import Technique, allocate_program
+from repro.workloads import build
+from repro.__main__ import main as cli_main
+
+
+# ------------------------------------------------------------------- tracer
+def test_trace_records_execution(simple_program, simple_golden):
+    machine = Machine(simple_program)
+    entries, result = trace_execution(machine, limit=10_000)
+    assert result.output == simple_golden.output
+    assert len(entries) == simple_golden.instructions
+    assert entries[0].index == 0
+    assert entries[0].function == "main"
+    # Destination values are recorded.
+    li_entries = [e for e in entries if e.text.startswith("li ")]
+    assert li_entries and all(e.value is not None for e in li_entries)
+
+
+def test_trace_limit_and_start(simple_program, simple_golden):
+    machine = Machine(simple_program)
+    entries, result = trace_execution(machine, limit=5, start=3)
+    assert len(entries) == 5
+    assert entries[0].index == 3
+    # The run still completes after the trace window.
+    assert result.output == simple_golden.output
+
+
+def test_trace_formatting(simple_program):
+    machine = Machine(simple_program)
+    entries, _ = trace_execution(machine, limit=3)
+    text = format_trace(entries)
+    assert "main" in text and "<-" in text
+
+
+# ----------------------------------------------------------------- profiler
+def test_profile_attributes_cycles():
+    profiles, result = profile_workload("vortex", Technique.NOFT)
+    assert profiles
+    total_share = sum(p.cycle_share for p in profiles)
+    assert total_share == pytest.approx(1.0)
+    attributed = sum(p.cycles for p in profiles)
+    assert attributed == pytest.approx(result.cycles, rel=0.05)
+    names = {p.name for p in profiles}
+    assert "main" in names and "obj_lookup" in names
+
+
+def test_profile_render():
+    profiles, _ = profile_workload("crc32", Technique.NOFT)
+    text = render_profile("crc32", Technique.NOFT, profiles)
+    assert "crc32" in text and "cycles%" in text
+
+
+def test_overhead_by_function():
+    overheads = overhead_by_function("crc32", Technique.SWIFTR)
+    assert overheads
+    assert all(value > 0.8 for value in overheads.values())
+    # The logical-heavy CRC loop in main pays for triplication.
+    assert overheads["main"] > 1.1
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_run_and_campaign(tmp_path, capsys):
+    source = tmp_path / "demo.c"
+    source.write_text(
+        "int main() { int t = 0; "
+        "for (int i = 0; i < 6; i++) { t += i; } print(t); return 0; }"
+    )
+    assert cli_main(["run", str(source)]) == 0
+    assert capsys.readouterr().out.strip() == "15"
+
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--trials", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "unACE" in out and "SWIFT-R" in out
+
+
+def test_cli_asm(tmp_path, capsys):
+    source = tmp_path / "demo.c"
+    source.write_text("int main() { print(7); return 0; }")
+    assert cli_main(["asm", str(source), "-t", "swift"]) == 0
+    out = capsys.readouterr().out
+    assert "func main" in out
+    assert "detect" in out    # SWIFT's faultDet block
+
+
+def test_cli_workloads(capsys):
+    assert cli_main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "adpcmdec" in out and "mcf" in out
+
+
+def test_cli_profile(capsys):
+    assert cli_main(["profile", "crc32"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: crc32" in out
+
+
+def test_cli_fig9_subset(capsys):
+    assert cli_main(["fig9", "--benchmarks", "crc32"]) == 0
+    assert "Figure 9" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_technique(tmp_path, capsys):
+    source = tmp_path / "demo.c"
+    source.write_text("int main() { return 0; }")
+    with pytest.raises(SystemExit):
+        cli_main(["run", str(source), "-t", "banana"])
+
+
+def test_cli_run_propagates_exit_code(tmp_path):
+    source = tmp_path / "demo.c"
+    source.write_text("int main() { exit(4); return 0; }")
+    assert cli_main(["run", str(source)]) == 4

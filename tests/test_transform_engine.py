@@ -1,0 +1,183 @@
+"""Duplication-engine internals and cross-technique composition."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.isa import (
+    Function,
+    IRBuilder,
+    Opcode,
+    Program,
+    Role,
+    parse_program,
+    verify_program,
+    vreg,
+)
+from repro.sim import run_program
+from repro.transform import (
+    DuplicationEngine,
+    Form,
+    ProtectionConfig,
+    ShadowAssignment,
+    Technique,
+    allocate_program,
+    protect,
+    uniform_assignment,
+)
+
+
+def tiny_program():
+    return parse_program("""
+func main(0):
+entry:
+    li v0, 10
+    add v1, v0, 5
+    print v1
+    ret
+""")
+
+
+def test_uniform_assignment_covers_all_virtual_ints():
+    program = tiny_program()
+    assignment = uniform_assignment(program.function("main"), Form.TMR)
+    assert assignment.form_of(vreg(0)) is Form.TMR
+    assert assignment.form_of(vreg(1)) is Form.TMR
+    assert assignment.form_of(vreg(99)) is Form.NONE
+
+
+def test_engine_materialises_distinct_shadows():
+    program = tiny_program()
+    fn = program.function("main")
+    assignment = uniform_assignment(fn, Form.TMR)
+    engine = DuplicationEngine(fn, assignment)
+    engine.run()
+    shadows = set(assignment.shadow1.values()) | \
+        set(assignment.shadow2.values())
+    originals = set(assignment.form)
+    assert not shadows & originals
+    assert len(shadows) == 2 * len(originals)
+
+
+def test_engine_respects_preassigned_shadows():
+    program = tiny_program()
+    fn = program.function("main")
+    assignment = uniform_assignment(fn, Form.DMR)
+    chosen = vreg(500)
+    assignment.shadow1[vreg(0)] = chosen
+    DuplicationEngine(fn, assignment).run()
+    assert assignment.shadow1[vreg(0)] is chosen
+
+
+def test_tmr_to_an_conversion_requires_a3():
+    """Figure 7's 2*r' + r'' trick only reconstructs A=3 codewords."""
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 1
+    xor v1, v0, 2
+    add v2, v1, 3
+    print v2
+    ret
+""")
+    fn = program.function("main")
+    from repro.transform.trump import trump_assignment
+
+    config = ProtectionConfig(an_power=3)   # A = 7
+    assignment = trump_assignment(fn, config, hybrid=True)
+    if any(form is Form.AN for form in assignment.form.values()) and any(
+        form is Form.TMR for form in assignment.form.values()
+    ):
+        with pytest.raises(TransformError, match="A = 3"):
+            DuplicationEngine(fn, assignment, config).run()
+
+
+def test_roles_partition_instructions():
+    hardened = protect(tiny_program(), Technique.SWIFTR)
+    fn = hardened.function("main")
+    roles = {}
+    for instr in fn.instructions():
+        roles[instr.role] = roles.get(instr.role, 0) + 1
+    assert roles[Role.ORIGINAL] == 4
+    assert roles[Role.REDUNDANT] == roles[Role.REDUNDANT2]
+    assert Role.VOTE in roles
+
+
+def test_detect_reachability_only_for_swift():
+    swiftr = protect(tiny_program(), Technique.SWIFTR)
+    assert not any(i.op is Opcode.DETECT
+                   for fn in swiftr for i in fn.instructions())
+    swift = protect(tiny_program(), Technique.SWIFT)
+    assert any(i.op is Opcode.DETECT
+               for fn in swift for i in fn.instructions())
+
+
+def test_double_protection_still_correct():
+    """Protecting an already protected program is wasteful but must not
+    change semantics (the engine treats inserted checks as ordinary
+    instructions)."""
+    program = tiny_program()
+    golden = run_program(program)
+    double = protect(protect(program, Technique.SWIFTR), Technique.SWIFTR)
+    verify_program(double)
+    result = run_program(allocate_program(double))
+    assert result.output == golden.output
+
+
+def test_mask_then_swiftr_composition():
+    from repro.transform import apply_mask
+    from repro.workloads import build
+
+    program = build("adpcmdec")
+    golden = run_program(allocate_program(program))
+    stacked = allocate_program(protect(apply_mask(program),
+                                       Technique.SWIFTR))
+    assert run_program(stacked).output == golden.output
+
+
+def test_engine_output_is_verified_ir():
+    """Every technique yields verifier-clean IR on a gnarly CFG."""
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 0
+    li v1, 0
+    jmp outer
+outer:
+    li v2, 0
+    jmp inner
+inner:
+    add v1, v1, v2
+    add v2, v2, 1
+    blt v2, 3, inner
+latch:
+    add v0, v0, 1
+    blt v0, 4, outer
+exit:
+    print v1
+    ret
+""")
+    golden = run_program(program)
+    for technique in Technique:
+        hardened = protect(program, technique)
+        verify_program(hardened)
+        assert run_program(allocate_program(hardened)).output == \
+            golden.output, technique
+
+
+def test_store_value_immediate_not_checked():
+    """Immediate store values cannot be faulted; no value check is
+    emitted for them (only the address is validated)."""
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 65536
+    store [v0 + 0], 7
+    ret
+""")
+    program.add_global("g", 1)
+    hardened = protect(program, Technique.SWIFTR)
+    fn = hardened.function("main")
+    # Hot vote entry points are BNE; the cold tie-breaker is BEQ.
+    vote_branches = [i for i in fn.instructions()
+                     if i.role is Role.VOTE and i.op is Opcode.BNE]
+    assert len(vote_branches) == 1   # address only

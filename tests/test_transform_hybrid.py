@@ -1,0 +1,136 @@
+"""Hybrids: TRUMP/SWIFT-R and TRUMP/MASK (paper Section 6)."""
+
+from repro.isa import Opcode, Role, parse_program
+from repro.sim import Machine, RunStatus, run_program
+from repro.transform import (
+    Form,
+    Technique,
+    allocate_program,
+    apply_trump_mask,
+    apply_trump_swiftr,
+    count_masks,
+    protect,
+)
+from repro.transform.trump import compute_an_candidates, trump_assignment
+from repro.faults import FaultSite, golden_run, run_with_fault
+
+
+def mixed_program():
+    """A TRUMP-friendly arithmetic chain feeding a store, plus a
+    TRUMP-hostile logical chain: the hybrid must protect both."""
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 65536
+    load v1, [v0 + 0]    ; bits=32
+    and v2, v1, 255
+    add v3, v2, 7
+    store [v0 + 8], v3
+    xor v4, v1, 9
+    print v4
+    print v3
+    ret
+""")
+    program.add_global("g", 2, [123])
+    return program
+
+
+def test_figure7_conversion_emitted():
+    """SWIFT-R -> TRUMP transition: rt = 2*r' + r'' (shl + add)."""
+    hardened = apply_trump_swiftr(mixed_program())
+    fn = hardened.function("main")
+    converts = [i for i in fn.instructions() if i.role is Role.CONVERT]
+    assert len(converts) >= 2
+    assert converts[0].op is Opcode.SHL
+    assert converts[0].srcs[1].value == 1
+    assert converts[1].op is Opcode.ADD
+
+
+def test_hybrid_partition():
+    program = mixed_program()
+    fn = program.function("main")
+    assignment = trump_assignment(fn, hybrid=True)
+    from repro.isa import vreg
+
+    # The logical results stay SWIFT-R; the add after the and is
+    # AN-codable via conversion.
+    assert assignment.form_of(vreg(2)) is Form.TMR
+    assert assignment.form_of(vreg(4)) is Form.TMR
+    assert assignment.form_of(vreg(3)) is Form.AN
+    # Every integer register is protected by *something*.
+    for instr in fn.instructions():
+        for reg in instr.registers():
+            if reg.is_virtual and reg.is_int:
+                assert assignment.form_of(reg) is not Form.NONE
+
+
+def test_hybrid_use_constraint():
+    """A register consumed by a SWIFT-R computation must stay SWIFT-R
+    (no TRUMP -> SWIFT-R conversion; paper Section 6.1)."""
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 3
+    add v1, v0, 4
+    xor v2, v1, 1
+    print v2
+    ret
+""")
+    fn = program.function("main")
+    assignment = trump_assignment(fn, hybrid=True)
+    from repro.isa import vreg
+
+    # v1 feeds a logical (SWIFT-R form) op, so v1 must be TMR even
+    # though it is arithmetic and bounded.
+    assert assignment.form_of(vreg(1)) is Form.TMR
+
+
+def test_hybrid_preserves_semantics_and_recovers():
+    binary = allocate_program(
+        protect(mixed_program(), Technique.TRUMP_SWIFTR)
+    )
+    machine = Machine(binary)
+    golden = golden_run(machine)
+    assert golden.status is RunStatus.EXITED
+    assert golden.output == [114, 130]
+    correct = 0
+    trials = 0
+    recovered = 0
+    for dyn in range(1, golden.instructions - 1, 2):
+        for reg in range(14, 32):
+            result = run_with_fault(machine, FaultSite(dyn, reg, 17))
+            trials += 1
+            recovered += bool(result.recoveries)
+            if (result.status is RunStatus.EXITED
+                    and result.output == golden.output):
+                correct += 1
+    assert recovered > 0
+    assert correct / trials > 0.9
+
+
+def test_trump_mask_masks_only_uncovered_registers():
+    program = mixed_program()
+    fn = program.function("main")
+    candidates = compute_an_candidates(fn)
+    hardened = apply_trump_mask(program)
+    # MASK instructions may exist, but never on AN-covered registers.
+    for fn_out in hardened:
+        for instr in fn_out.instructions():
+            if instr.role is Role.MASK:
+                assert instr.dest not in candidates
+
+
+def test_trump_mask_preserves_semantics():
+    program = mixed_program()
+    golden = run_program(allocate_program(program))
+    hardened = run_program(
+        allocate_program(protect(program, Technique.TRUMP_MASK))
+    )
+    assert hardened.output == golden.output
+
+
+def test_trump_mask_on_adpcm_keeps_masks():
+    from repro.workloads import build
+
+    hardened = protect(build("adpcmdec"), Technique.TRUMP_MASK)
+    assert count_masks(hardened) >= 1

@@ -1,0 +1,123 @@
+"""MASK: invariant enforcement (paper Section 5, Figure 6)."""
+
+from repro.isa import Imm, MASK64, Opcode, Role, parse_program
+from repro.lang import compile_source
+from repro.sim import Machine, RunStatus, run_program
+from repro.transform import (
+    Technique,
+    allocate_program,
+    apply_mask,
+    count_masks,
+    mask_function,
+    protect,
+)
+from repro.faults import FaultSite, golden_run, run_with_fault
+
+
+def figure6_program():
+    """The paper's adpcmdec idiom: a 0/1 guard toggled by xor in a loop."""
+    return compile_source("""
+int calls = 0;
+void other() { calls = calls + 1; }
+int main() {
+    int guard = 0;
+    for (int i = 0; i < 20; i++) {
+        if (guard != 0) { other(); }
+        guard = guard ^ 1;
+    }
+    print(calls);
+    return 0;
+}
+""")
+
+
+def test_figure6_mask_inserted():
+    masked = apply_mask(figure6_program())
+    fn = masked.function("main")
+    masks = [i for i in fn.instructions() if i.role is Role.MASK]
+    assert masks, "expected a MASK instruction at the loop header"
+    # The paper's exact enforcement: and guard, guard, 1.
+    assert any(
+        i.op is Opcode.AND and i.srcs[1] == Imm(1) and i.dest is i.srcs[0]
+        for i in masks
+    )
+
+
+def test_mask_preserves_semantics():
+    program = figure6_program()
+    golden = run_program(allocate_program(program))
+    masked = run_program(allocate_program(apply_mask(program)))
+    assert masked.output == golden.output == [10]
+
+
+def test_mask_squashes_high_bit_faults():
+    """A fault in a provably-zero bit of the guard is erased by the
+    mask before it can steer the branch (the 63/64 case of Section 5)."""
+    program = figure6_program()
+    plain = allocate_program(program)
+    masked = allocate_program(apply_mask(program))
+
+    def failure_rate(binary):
+        machine = Machine(binary)
+        golden = golden_run(machine)
+        assert golden.status is RunStatus.EXITED
+        failures = 0
+        trials = 0
+        for dyn in range(5, golden.instructions - 5, 3):
+            for reg in range(20, 32):
+                for bit in (40, 50, 60):   # provably-zero bits
+                    site = FaultSite(dyn, reg, bit)
+                    result = run_with_fault(machine, site)
+                    trials += 1
+                    if not (result.status is RunStatus.EXITED
+                            and result.output == golden.output):
+                        failures += 1
+        return failures / trials
+
+    assert failure_rate(masked) < failure_rate(plain)
+
+
+def test_mask_skip_predicate():
+    program = figure6_program()
+    fn = program.function("main")
+    no_masks = mask_function(fn, program, skip=lambda reg: True)
+    assert not any(i.role is Role.MASK for i in no_masks.instructions())
+
+
+def test_min_bits_threshold():
+    program = figure6_program()
+    fn = program.function("main")
+    strict = mask_function(fn, program, min_bits=64)
+    assert not any(i.role is Role.MASK for i in strict.instructions())
+
+
+def test_count_masks_on_workload():
+    from repro.workloads import build
+
+    masked = apply_mask(build("adpcmdec"))
+    assert count_masks(masked) >= 2   # encoder + decoder parity guards
+
+
+def test_mask_on_non_loop_code_is_noop():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 1
+    print v0
+    ret
+""")
+    masked = apply_mask(program)
+    assert count_masks(masked) == 0
+
+
+def test_masks_only_target_live_loop_registers():
+    """Registers dead around the loop are not masked."""
+    masked = apply_mask(figure6_program())
+    for fn in masked:
+        for blk in fn.blocks:
+            for instr in blk.instructions:
+                if instr.role is Role.MASK:
+                    # mask is of the form and r, r, keep
+                    assert instr.dest is instr.srcs[0]
+                    keep = instr.srcs[1].value
+                    assert keep != MASK64  # enforces something non-trivial

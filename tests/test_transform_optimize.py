@@ -1,0 +1,263 @@
+"""The -O2-style scalar optimiser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from irgen import random_program
+from repro.isa import (
+    Imm,
+    Opcode,
+    parse_program,
+    print_function,
+    verify_program,
+)
+from repro.sim import run_program
+from repro.transform import (
+    Technique,
+    allocate_program,
+    eliminate_dead_code,
+    fold_constants,
+    local_cse,
+    optimize_program,
+    propagate_copies,
+    protect,
+)
+
+
+def opt(text):
+    program = optimize_program(parse_program(text))
+    verify_program(program)
+    return program.function("main")
+
+
+def ops_of(fn):
+    return [i.op for i in fn.instructions()]
+
+
+def test_constant_folding_chains():
+    fn = opt("""
+func main(0):
+entry:
+    li v0, 6
+    li v1, 7
+    mul v2, v0, v1
+    add v3, v2, 0
+    print v3
+    ret
+""")
+    # Everything collapses: either a li 42 feeds print, or 42 is
+    # propagated straight into the print operand.
+    instrs = list(fn.instructions())
+    assert Opcode.MUL not in ops_of(fn)
+    assert Opcode.ADD not in ops_of(fn)
+    assert any(Imm(42) in i.srcs for i in instrs)
+
+
+@pytest.mark.parametrize("expr,expected", [
+    ("div v2, v0, v1", 6),        # 13 / 2
+    ("rem v2, v0, v1", 1),
+    ("sra v2, v0, v1", 3),
+    ("shr v2, v0, v1", 3),
+    ("cmplt v2, v0, v1", 0),
+])
+def test_folding_semantics_match_machine(expr, expected):
+    text = f"""
+func main(0):
+entry:
+    li v0, 13
+    li v1, 2
+    {expr}
+    print v2
+    ret
+"""
+    unoptimised = run_program(parse_program(text))
+    optimised = run_program(optimize_program(parse_program(text)))
+    assert unoptimised.output == optimised.output == [expected]
+
+
+def test_division_by_zero_not_folded_away():
+    fn = opt("""
+func main(0):
+entry:
+    li v0, 1
+    li v1, 0
+    div v2, v0, v1
+    print v2
+    ret
+""")
+    assert Opcode.DIV in ops_of(fn)   # the trap must survive
+
+
+def test_identities():
+    fn = opt("""
+func main(0):
+entry:
+    li v9, 5
+    add v0, v9, 0
+    mul v1, v0, 1
+    shl v2, v1, 0
+    xor v3, v2, 0
+    print v3
+    ret
+""")
+    body_ops = ops_of(fn)
+    assert Opcode.ADD not in body_ops
+    assert Opcode.MUL not in body_ops
+    assert Opcode.SHL not in body_ops
+    assert Opcode.XOR not in body_ops
+
+
+def test_copy_propagation_collapses_mov_chains():
+    fn = opt("""
+func main(0):
+entry:
+    li v0, 65536
+    mov v1, v0
+    mov v2, v1
+    load v3, [v2 + 0]
+    print v3
+    ret
+""")
+    # Loads read through the propagated base; the mov chain dies.
+    loads = [i for i in fn.instructions() if i.op is Opcode.LOAD]
+    assert loads
+    assert ops_of(fn).count(Opcode.MOV) == 0
+    # A single constant materialisation remains for the base register.
+    assert ops_of(fn).count(Opcode.LI) == 1
+
+
+def test_width_asserting_movs_are_preserved():
+    """(int) cast movs carry value_bits and must not be propagated away
+    (they gate TRUMP applicability)."""
+    fn = opt("""
+func main(0):
+entry:
+    li v0, 65536
+    load v1, [v0 + 0]
+    mov v2, v1    ; bits=32
+    add v3, v2, 1
+    print v3
+    ret
+""")
+    movs = [i for i in fn.instructions()
+            if i.op is Opcode.MOV and i.value_bits == 32]
+    assert movs, print_function(fn)
+
+
+def test_cse_removes_repeated_address_arithmetic():
+    fn = opt("""
+func main(0):
+entry:
+    li v0, 65536
+    li v1, 2
+    shl v2, v1, 3
+    add v3, v0, v2
+    load v4, [v3 + 0]
+    shl v5, v1, 3
+    add v6, v0, v5
+    store [v6 + 0], v4
+    ret
+""")
+    # The second shl/add pair is redundant; constant folding may then
+    # collapse the remaining chain entirely -- at most one of each
+    # survives and the load/store still address the same cell.
+    assert ops_of(fn).count(Opcode.SHL) <= 1
+    assert ops_of(fn).count(Opcode.ADD) <= 1
+
+
+def test_cse_respects_redefinition():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 3
+    add v1, v0, 4
+    li v0, 10
+    add v2, v0, 4
+    print v1
+    print v2
+    ret
+""")
+    golden = run_program(program)
+    optimised = optimize_program(program)
+    assert run_program(optimised).output == golden.output == [7, 14]
+
+
+def test_dce_removes_dead_pure_code_only():
+    fn = opt("""
+func main(0):
+entry:
+    li v0, 1
+    add v1, v0, 2
+    li v2, 9
+    load v3, [v4 + 0]
+    print v1
+    ret
+""")
+    body_ops = ops_of(fn)
+    assert Opcode.LOAD in body_ops     # may trap: kept
+    # v2's li is dead and pure: gone.
+    li_values = [i.srcs[0].signed for i in fn.instructions()
+                 if i.op is Opcode.LI]
+    assert 9 not in li_values
+
+
+def test_stores_and_calls_never_removed():
+    program = parse_program("""
+func effect(0):
+entry:
+    ret
+
+func main(0):
+entry:
+    li v0, 65536
+    store [v0 + 0], 5
+    call v1, effect()
+    ret
+""")
+    program.add_global("g", 1)
+    optimised = optimize_program(program)
+    fn = optimised.function("main")
+    assert Opcode.STORE in ops_of(fn)
+    assert Opcode.CALL in ops_of(fn)
+
+
+def test_single_pass_helpers_report_changes():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 2
+    li v1, 3
+    add v2, v0, v1
+    print v2
+    ret
+""")
+    fn = program.function("main")
+    assert propagate_copies(fn)      # constants flow into the add
+    assert fold_constants(fn)        # which then folds
+    assert eliminate_dead_code(fn)   # leaving the feeding lis dead
+    assert local_cse(fn) in (True, False)
+    verify_program(program)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_optimizer_preserves_semantics_random(seed):
+    program = random_program(seed)
+    golden = run_program(program)
+    optimised = optimize_program(program)
+    verify_program(optimised)
+    result = run_program(optimised)
+    assert result.output == golden.output
+    # And it never *grows* the program.
+    assert optimised.num_instructions() <= program.num_instructions()
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_optimize_then_protect_then_allocate_random(seed):
+    program = random_program(seed, num_blocks=2, instrs_per_block=8)
+    golden = run_program(program)
+    binary = allocate_program(
+        protect(optimize_program(program), Technique.SWIFTR)
+    )
+    assert run_program(binary).output == golden.output

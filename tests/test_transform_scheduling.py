@@ -1,0 +1,107 @@
+"""List scheduling: dependence preservation and check placement."""
+
+from hypothesis import given, settings, strategies as st
+
+from irgen import random_program
+from repro.isa import Function, IRBuilder, Opcode, Role, verify_program
+from repro.sim import run_program
+from repro.transform import (
+    SchedulePolicy,
+    Technique,
+    allocate_program,
+    protect,
+    schedule_block,
+    schedule_function,
+    schedule_program,
+)
+
+
+def test_terminator_stays_last(simple_program):
+    scheduled = schedule_program(simple_program)
+    verify_program(scheduled)
+    for fn in scheduled:
+        for blk in fn.blocks:
+            assert blk.terminator is not None
+
+
+def test_dependences_respected_simple():
+    fn = Function("f")
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    x = b.li(2)
+    y = b.mul(x, 10)       # latency 3: scheduler may hoist independents
+    z = b.li(5)
+    w = b.add(y, z)        # must stay after both
+    b.print_(w)
+    b.ret()
+    schedule_block(fn.entry)
+    order = [i.op for i in fn.entry.instructions]
+    instrs = fn.entry.instructions
+    pos = {id(i): k for k, i in enumerate(instrs)}
+    defs = {}
+    for instr in instrs:
+        for reg in instr.source_registers():
+            assert id(defs[reg]) in pos and pos[id(defs[reg])] < pos[id(instr)]
+        if instr.dest is not None:
+            defs[instr.dest] = instr
+    assert order[-1] is Opcode.RET
+
+
+def test_memory_order_preserved(simple_program, simple_golden):
+    scheduled = schedule_program(simple_program)
+    assert run_program(scheduled).output == simple_golden.output
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_scheduling_preserves_semantics_random(seed):
+    program = random_program(seed)
+    golden = run_program(program)
+    scheduled = schedule_program(program)
+    verify_program(scheduled)
+    assert run_program(scheduled).output == golden.output
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_scheduling_protected_code_random(seed):
+    """Scheduling after SWIFT-R must not break votes or checks."""
+    program = random_program(seed, num_blocks=2, instrs_per_block=8)
+    golden = run_program(program)
+    hardened = schedule_program(protect(program, Technique.SWIFTR))
+    binary = allocate_program(hardened)
+    assert run_program(binary).output == golden.output
+
+
+def test_checks_late_keeps_validation_adjacent():
+    """CHECKS_LATE keeps each vote/check no further from its guarded
+    memory instruction than the ILP policy does."""
+    program = random_program(3, num_blocks=2, instrs_per_block=10)
+    hardened = protect(program, Technique.SWIFTR)
+
+    def mean_check_distance(prog):
+        total = 0.0
+        count = 0
+        for fn in prog:
+            for blk in fn.blocks:
+                instrs = blk.instructions
+                guarded = [k for k, i in enumerate(instrs)
+                           if i.reads_memory or i.writes_memory]
+                for k, instr in enumerate(instrs):
+                    if instr.role is Role.VOTE and instr.is_branch:
+                        later = [g for g in guarded if g > k]
+                        if later:
+                            total += later[0] - k
+                            count += 1
+        return total / count if count else 0.0
+
+    ilp = schedule_program(hardened, SchedulePolicy.ILP)
+    late = schedule_program(hardened, SchedulePolicy.CHECKS_LATE)
+    assert mean_check_distance(late) <= mean_check_distance(ilp) + 1e-9
+
+
+def test_schedule_function_returns_new_object(simple_program):
+    fn = simple_program.function("main")
+    scheduled = schedule_function(fn)
+    assert scheduled is not fn
+    assert fn.num_instructions() == scheduled.num_instructions()

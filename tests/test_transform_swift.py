@@ -1,0 +1,144 @@
+"""SWIFT: duplication + detection (paper Section 2.2, Figures 1-2)."""
+
+from repro.isa import Opcode, Role, parse_program, print_function
+from repro.sim import RunStatus, run_program
+from repro.transform import Technique, apply_swift, protect
+from repro.faults import FaultSite, run_with_fault
+from repro.sim import Machine
+from repro.transform import allocate_program
+
+
+def _ops_with_roles(fn):
+    return [(i.op, i.role) for i in fn.instructions()]
+
+
+def test_figure1_load_store_pattern():
+    """Check before load; copy after load; checks before store."""
+    program = parse_program("""
+func main(0):
+entry:
+    li v4, 65536
+    load v3, [v4 + 0]
+    add v1, v2, v3
+    store [v1 + 0], v2
+    ret
+""")
+    program.add_global("g", 1)
+    swift = apply_swift(program)
+    fn = swift.function("main")
+    text = print_function(fn)
+    instrs = list(fn.instructions())
+    # The load address is validated by a branch before the load.
+    load_pos = next(i for i, ins in enumerate(instrs)
+                    if ins.op is Opcode.LOAD)
+    before_load = instrs[:load_pos]
+    assert any(ins.op is Opcode.BNE and ins.role is Role.CHECK
+               for ins in before_load), text
+    # The loaded value is copied into its shadow right after the load.
+    after_load = instrs[load_pos + 1]
+    assert after_load.op is Opcode.MOV and after_load.role is Role.COPY
+    # The add is duplicated.
+    adds = [ins for ins in instrs if ins.op is Opcode.ADD]
+    assert len(adds) == 2
+    assert adds[1].role is Role.REDUNDANT
+    # Both store operands are checked: two more CHECK branches.
+    checks = [ins for ins in instrs
+              if ins.role is Role.CHECK and ins.op is Opcode.BNE]
+    assert len(checks) == 3  # load address + store address + store value
+
+
+def test_figure2_branch_and_call_pattern():
+    program = parse_program("""
+func other(1):
+entry:
+    param v0, 0
+    ret v0
+
+func main(0):
+entry:
+    li v0, 1
+    call v1, other(v0)
+    beq v1, v0, done
+mid:
+    jmp done
+done:
+    ret
+""")
+    swift = apply_swift(program)
+    fn = swift.function("main")
+    instrs = list(fn.instructions())
+    call_pos = next(i for i, ins in enumerate(instrs) if ins.is_call)
+    # The call argument is checked before the call.
+    assert any(ins.role is Role.CHECK for ins in instrs[:call_pos])
+    # The return value is copied afterwards (mov R0' = R0).
+    assert instrs[call_pos + 1].op is Opcode.MOV
+    assert instrs[call_pos + 1].role is Role.COPY
+    # Both branch sources are checked before the conditional branch.
+    branch_pos = next(i for i, ins in enumerate(instrs)
+                      if ins.op is Opcode.BEQ and ins.role is Role.ORIGINAL)
+    check_count = sum(1 for ins in instrs[call_pos:branch_pos]
+                      if ins.role is Role.CHECK)
+    assert check_count >= 2
+
+
+def test_detect_block_appended_once():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 65536
+    load v1, [v0 + 0]
+    print v1
+    ret
+""")
+    program.add_global("g", 1)
+    swift = apply_swift(program)
+    fn = swift.function("main")
+    detects = [i for i in fn.instructions() if i.op is Opcode.DETECT]
+    assert len(detects) == 1
+    # It lives in the final block.
+    assert fn.blocks[-1].instructions[-1].op is Opcode.DETECT
+
+
+def test_swift_detects_injected_fault(simple_program, simple_golden):
+    """A fault on a long-lived register triggers faultDet, not SDC."""
+    binary = allocate_program(protect(simple_program, Technique.SWIFT))
+    machine = Machine(binary)
+    detected = 0
+    sdc = 0
+    for trial in range(120):
+        site = FaultSite(dynamic_index=17 + trial, reg_index=(trial % 29) + 2,
+                         bit=trial % 64)
+        if site.reg_index == 1:
+            continue
+        result = run_with_fault(machine, site)
+        if result.status is RunStatus.DETECTED:
+            detected += 1
+        elif (result.status is RunStatus.EXITED
+              and result.output != simple_golden.output):
+            sdc += 1
+    assert detected > 0
+    # Detection-only still eliminates nearly all silent corruption.
+    assert sdc <= detected
+
+
+def test_swift_preserves_semantics(simple_program, simple_golden):
+    hardened = protect(simple_program, Technique.SWIFT)
+    result = run_program(hardened)
+    assert result.output == simple_golden.output
+
+
+def test_float_code_untouched():
+    program = parse_program("""
+func main(0):
+entry:
+    fli fv0, 1.5
+    fadd fv1, fv0, fv0
+    fprint fv1
+    ret
+""")
+    swift = apply_swift(program)
+    fn = swift.function("main")
+    fp_ops = [i for i in fn.instructions()
+              if i.op in (Opcode.FLI, Opcode.FADD)]
+    assert len(fp_ops) == 2  # not duplicated
+    assert all(i.role is Role.ORIGINAL for i in fp_ops)

@@ -1,0 +1,180 @@
+"""SWIFT-R: triplication + majority voting (paper Section 3, Figure 3)."""
+
+import pytest
+
+from repro.isa import Opcode, Role, parse_program
+from repro.sim import Machine, RunStatus
+from repro.transform import (
+    ProtectionConfig,
+    Technique,
+    VoteStyle,
+    allocate_program,
+    apply_swiftr,
+    protect,
+)
+from repro.faults import FaultSite, run_with_fault, golden_run
+
+
+def small_program():
+    program = parse_program("""
+func main(0):
+entry:
+    li v4, 65536
+    load v3, [v4 + 0]
+    add v1, v2, v3
+    store [v4 + 8], v1
+    print v1
+    ret
+""")
+    program.add_global("g", 2, [21])
+    program.assign_addresses()
+    return program
+
+
+def test_figure3_triplication():
+    swiftr = apply_swiftr(small_program())
+    fn = swiftr.function("main")
+    instrs = list(fn.instructions())
+    adds = [i for i in instrs if i.op is Opcode.ADD]
+    assert len(adds) == 3
+    assert adds[0].role is Role.ORIGINAL
+    assert adds[1].role is Role.REDUNDANT
+    assert adds[2].role is Role.REDUNDANT2
+    # The three adds write three distinct registers from three distinct
+    # register sets.
+    dests = {a.dest for a in adds}
+    assert len(dests) == 3
+    # Load result copied twice.
+    load_pos = next(i for i, ins in enumerate(instrs)
+                    if ins.op is Opcode.LOAD)
+    assert instrs[load_pos + 1].op is Opcode.MOV
+    assert instrs[load_pos + 2].op is Opcode.MOV
+    assert instrs[load_pos + 1].role is Role.COPY
+
+
+def test_votes_guard_memory_and_output():
+    swiftr = apply_swiftr(small_program())
+    fn = swiftr.function("main")
+    votes = [i for i in fn.instructions() if i.role is Role.VOTE]
+    # Votes before: load address, store address, store value, print value.
+    vote_branches = [i for i in votes if i.op is Opcode.BNE]
+    assert len(vote_branches) == 4
+
+
+def test_branching_vote_repairs_each_copy():
+    """Exhaustively corrupt each of the three copies at the vote point:
+    the program must still produce correct output."""
+    program = small_program()
+    binary = allocate_program(
+        protect(program, Technique.SWIFTR,
+                ProtectionConfig(vote_style=VoteStyle.BRANCHING))
+    )
+    machine = Machine(binary)
+    golden = golden_run(machine)
+    assert golden.status is RunStatus.EXITED
+    repaired = 0
+    failures = 0
+    trials = 0
+    for dyn in range(1, golden.instructions - 1):
+        for reg_index in range(16, 32):
+            site = FaultSite(dynamic_index=dyn, reg_index=reg_index, bit=13)
+            result = run_with_fault(machine, site)
+            trials += 1
+            if result.recoveries:
+                repaired += 1
+            if not (result.status is RunStatus.EXITED
+                    and result.output == golden.output):
+                failures += 1
+    assert repaired > 0
+    # Residual failures are the paper's windows of vulnerability
+    # (Section 3.2): present, but rare.
+    assert failures / trials < 0.05
+
+
+@pytest.mark.parametrize("style", [VoteStyle.BRANCHING, VoteStyle.BRANCHFREE])
+def test_vote_styles_preserve_semantics(style, simple_program,
+                                        simple_golden):
+    config = ProtectionConfig(vote_style=style)
+    hardened = allocate_program(
+        protect(simple_program, Technique.SWIFTR, config)
+    )
+    from repro.sim import run_program
+
+    assert run_program(hardened).output == simple_golden.output
+
+
+def test_branchfree_vote_is_straightline():
+    config = ProtectionConfig(vote_style=VoteStyle.BRANCHFREE)
+    swiftr = protect(small_program(), Technique.SWIFTR, config)
+    fn = swiftr.function("main")
+    votes = [i for i in fn.instructions() if i.role is Role.VOTE]
+    # Bitwise majority: only and/or/mov, no branches.
+    assert votes
+    assert all(i.op in (Opcode.AND, Opcode.OR, Opcode.MOV) for i in votes)
+
+
+def test_branchfree_majority_corrects_any_single_copy():
+    """maj(a, b, c) recovers the value even under multi-bit corruption."""
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+           noise=st.integers(min_value=1, max_value=(1 << 64) - 1),
+           victim=st.integers(min_value=0, max_value=2))
+    def check(value, noise, victim):
+        copies = [value, value, value]
+        copies[victim] ^= noise
+        a, b, c = copies
+        maj = (a & b) | (a & c) | (b & c)
+        assert maj == value
+
+    check()
+
+
+def test_swiftr_recovers_from_exhaustive_bit_flips():
+    """Every bit of a tripled register flipped right after definition:
+    all 64 single-bit faults must be voted away (unACE)."""
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 123456789
+    li v1, 1
+    add v2, v0, v1
+    store [v3 + 0], v2
+    print v2
+    ret
+""")
+    # v3 is an address register: point it at the global.
+    program.add_global("slot", 1)
+    program.assign_addresses()
+    text_fix = program.function("main")
+    from repro.isa import Imm, Instruction
+
+    text_fix.entry.instructions.insert(
+        0,
+        Instruction(Opcode.LI,
+                    dest=next(iter(
+                        i.srcs[0] for i in text_fix.instructions()
+                        if i.op is Opcode.STORE
+                    )),
+                    srcs=(Imm(program.address_of("slot")),)),
+    )
+    binary = allocate_program(protect(program, Technique.SWIFTR))
+    machine = Machine(binary)
+    golden = golden_run(machine)
+    assert golden.status is RunStatus.EXITED
+    correct = 0
+    total = 0
+    for reg_index in range(0, 32):
+        if reg_index == 1:
+            continue
+        for bit in range(0, 64, 7):
+            site = FaultSite(dynamic_index=4, reg_index=reg_index, bit=bit)
+            result = run_with_fault(machine, site)
+            total += 1
+            if (result.status is RunStatus.EXITED
+                    and result.output == golden.output):
+                correct += 1
+    # Every injected fault must be masked or repaired: the fault lands
+    # either in a dead register (unACE) or in one protected copy.
+    assert correct == total

@@ -1,0 +1,254 @@
+"""TRUMP: AN-codes, applicability analysis, and recovery (Section 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    Imm,
+    MASK64,
+    Opcode,
+    Role,
+    parse_program,
+    to_signed,
+)
+from repro.sim import Machine, RunStatus
+from repro.transform import (
+    ProtectionConfig,
+    Technique,
+    allocate_program,
+    apply_trump,
+    compute_an_candidates,
+    coverage_report,
+    protect,
+)
+from repro.faults import FaultSite, golden_run, run_with_fault
+
+
+# ----------------------------------------------------------- AN-code algebra
+@settings(max_examples=300, deadline=None)
+@given(x=st.integers(min_value=-(1 << 61), max_value=(1 << 61) - 1),
+       y=st.integers(min_value=-(1 << 61), max_value=(1 << 61) - 1))
+def test_an_codes_are_arithmetic_codes(x, y):
+    """(Ax) + (Ay) = A(x+y) and (Ax)*k = A(x*k), mod 2**64 (Eq. 1-2)."""
+    a = 3
+    assert (a * x + a * y) & MASK64 == (a * (x + y)) & MASK64
+    for k in (0, 1, 2, 7, 100):
+        assert (a * x * k) & MASK64 == (a * (x * k)) & MASK64
+
+
+@pytest.mark.parametrize("bit", range(64))
+def test_single_bit_flip_never_divisible_by_A(bit):
+    """Section 4.1: C +- 2**k is never congruent to 0 mod A = 2**n - 1.
+
+    Checked in the signed interpretation our recovery uses, for values
+    within TRUMP's applicability bound.
+    """
+    for value in (0, 1, 5, -7, (1 << 40) + 3, -(1 << 40)):
+        codeword = (3 * value) & MASK64
+        corrupted = to_signed(codeword ^ (1 << bit))
+        assert corrupted % 3 != 0 or corrupted == 3 * value
+
+
+@settings(max_examples=300, deadline=None)
+@given(value=st.integers(min_value=-(1 << 60), max_value=(1 << 60) - 1),
+       bit=st.integers(min_value=0, max_value=63))
+def test_divisibility_identifies_corrupted_copy(value, bit):
+    """Figure 4's recovery rule, as implemented: a flipped codeword is
+    indivisible by 3; a flipped original leaves the codeword divisible."""
+    codeword = (3 * value) & MASK64
+    # Corrupt the codeword: detection must identify it.
+    bad_codeword = to_signed(codeword ^ (1 << bit))
+    assert bad_codeword % 3 != 0
+    # Intact codeword: dividing recovers the original value.
+    assert to_signed(codeword) % 3 == 0
+    assert to_signed(codeword) // 3 == value
+
+
+# ------------------------------------------------------------- applicability
+def test_logical_chain_not_protectable():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 12
+    xor v1, v0, 5
+    and v2, v1, 255
+    print v2
+    ret
+""")
+    fn = program.function("main")
+    candidates = compute_an_candidates(fn)
+    from repro.isa import vreg
+
+    assert vreg(0) in candidates       # plain constant chain
+    assert vreg(1) not in candidates   # xor breaks the chain
+    assert vreg(2) not in candidates
+
+
+def test_unbounded_value_not_protectable():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 65536
+    load v1, [v0 + 0]
+    add v2, v1, 1
+    print v2
+    ret
+""")
+    program.add_global("g", 1)
+    fn = program.function("main")
+    candidates = compute_an_candidates(fn)
+    from repro.isa import vreg
+
+    # v1 is an unannotated load: magnitude unknown, codeword may overflow.
+    assert vreg(1) not in candidates
+    assert vreg(2) not in candidates
+
+
+def test_annotated_load_is_protectable():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 65536
+    load v1, [v0 + 0]    ; bits=32
+    add v2, v1, 1
+    print v2
+    ret
+""")
+    program.add_global("g", 1)
+    candidates = compute_an_candidates(program.function("main"))
+    from repro.isa import vreg
+
+    assert vreg(1) in candidates
+    assert vreg(2) in candidates
+
+
+def test_mul_of_two_registers_not_protectable():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 10
+    li v1, 20
+    mul v2, v0, v1
+    mul v3, v0, 7
+    print v2
+    print v3
+    ret
+""")
+    candidates = compute_an_candidates(program.function("main"))
+    from repro.isa import vreg
+
+    assert vreg(2) not in candidates   # (Ax)(Ay) = A^2 xy
+    assert vreg(3) in candidates       # times a constant is fine
+
+
+def test_coverage_report_counts():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, 1
+    add v1, v0, 2
+    xor v2, v1, 3
+    print v2
+    ret
+""")
+    report = coverage_report(program.function("main"))
+    assert report["registers"] == 3
+    assert report["an_registers"] == 2
+    assert report["definitions"] == 3
+    assert report["an_definitions"] == 2
+
+
+# ------------------------------------------------------------ transformation
+def trump_program():
+    program = parse_program("""
+func main(0):
+entry:
+    li v4, 65536
+    load v3, [v4 + 0]    ; bits=32
+    add v1, v3, 5
+    store [v4 + 8], v1
+    print v1
+    ret
+""")
+    program.add_global("g", 2, [37])
+    return program
+
+
+def test_figure5_shape():
+    hardened = apply_trump(trump_program())
+    fn = hardened.function("main")
+    instrs = list(fn.instructions())
+    # The load result is AN-encoded by shift-and-subtract (A*r).
+    load_pos = next(i for i, ins in enumerate(instrs)
+                    if ins.op is Opcode.LOAD)
+    assert instrs[load_pos + 1].op is Opcode.SHL
+    assert instrs[load_pos + 1].role is Role.COPY
+    assert instrs[load_pos + 2].op is Opcode.SUB
+    # The add has an AN companion with the immediate scaled by 3.
+    adds = [i for i in instrs
+            if i.op is Opcode.ADD and i.role is Role.REDUNDANT]
+    assert len(adds) == 1
+    assert adds[0].srcs[1] == Imm(15)
+    # Recovery code exists in cold blocks.
+    assert any(i.role is Role.RECOVERY for i in instrs)
+    assert any(i.op is Opcode.DIV for i in instrs)
+    assert any(i.op is Opcode.REM for i in instrs)
+
+
+def test_li_companion_scaled():
+    hardened = apply_trump(trump_program())
+    fn = hardened.function("main")
+    lis = [i for i in fn.instructions()
+           if i.op is Opcode.LI and i.role is Role.REDUNDANT]
+    assert lis and lis[0].srcs[0].value == 3 * 65536
+
+
+def test_trump_recovers_corrupted_original_and_shadow():
+    binary = allocate_program(protect(trump_program(), Technique.TRUMP))
+    machine = Machine(binary)
+    golden = golden_run(machine)
+    assert golden.status is RunStatus.EXITED
+    recovered = 0
+    correct = 0
+    trials = 0
+    for dyn in range(1, golden.instructions - 1):
+        for reg in range(16, 32):
+            site = FaultSite(dynamic_index=dyn, reg_index=reg, bit=21)
+            result = run_with_fault(machine, site)
+            trials += 1
+            if result.recoveries:
+                recovered += 1
+            if (result.status is RunStatus.EXITED
+                    and result.output == golden.output):
+                correct += 1
+    assert recovered > 0
+    assert correct / trials > 0.9
+
+
+def test_trump_with_larger_A():
+    """A = 7 (n = 3) also detects and recovers."""
+    config = ProtectionConfig(an_power=3)
+    binary = allocate_program(
+        protect(trump_program(), Technique.TRUMP, config)
+    )
+    machine = Machine(binary)
+    golden = golden_run(machine)
+    assert golden.status is RunStatus.EXITED
+    assert golden.output == [42]
+
+
+def test_trump_preserves_semantics_with_negative_values():
+    program = parse_program("""
+func main(0):
+entry:
+    li v0, -1000
+    add v1, v0, -234
+    sub v2, v1, 766
+    neg v3, v2
+    print v3
+    ret
+""")
+    hardened = allocate_program(protect(program, Technique.TRUMP))
+    from repro.sim import run_program
+
+    assert run_program(hardened).output == [2000]
