@@ -8,6 +8,11 @@ Subcommands:
 * ``profile WORKLOAD [-t TECH]`` per-function cycle profile
 * ``workloads``                  list the benchmark suite
 * ``fig8`` / ``fig9``            regenerate the paper's figures
+* ``obs summarize PATH``         render a JSONL telemetry file
+
+``campaign``, ``fig8``, and ``fig9`` accept ``--telemetry PATH`` to
+export spans, metrics, and per-trial records as JSONL (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -61,8 +66,18 @@ def _cmd_asm(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    from .eval.telemetry import export_session, open_sink
+    from .obs import CampaignLog
+
+    sink = open_sink(args.telemetry)
+    log = None
+    if sink is not None:
+        log = CampaignLog(context={"source": args.file,
+                                   "technique": args.technique.value,
+                                   "seed": args.seed})
     binary = _load_binary(args.file, args.technique)
-    campaign = run_campaign(binary, trials=args.trials, seed=args.seed)
+    campaign = run_campaign(binary, trials=args.trials, seed=args.seed,
+                            log=log)
     print(f"technique : {args.technique.label}")
     print(f"trials    : {campaign.trials}")
     print(f"unACE     : {campaign.unace_percent:6.2f}%")
@@ -71,6 +86,21 @@ def _cmd_campaign(args) -> int:
     if campaign.detected_percent:
         print(f"detected  : {campaign.detected_percent:6.2f}%")
     print(f"repairs   : fired in {campaign.recoveries} runs")
+    if sink is not None:
+        sink.write_many(log.to_dicts())
+        latencies = log.latencies()
+        if latencies:
+            mean = sum(latencies) / len(latencies)
+            print(f"latency   : mean {mean:.1f} dynamic instructions to "
+                  f"detection ({len(latencies)} detected trials)")
+        export_session(sink)
+    return 0
+
+
+def _cmd_obs_summarize(args) -> int:
+    from .obs.sink import summarize_path
+
+    print(summarize_path(args.path))
     return 0
 
 
@@ -99,6 +129,8 @@ def _cmd_fig8(args) -> int:
     argv = ["--trials", str(args.trials)]
     if args.benchmarks:
         argv += ["--benchmarks", args.benchmarks]
+    if args.telemetry:
+        argv += ["--telemetry", args.telemetry]
     return reliability.main(argv)
 
 
@@ -106,6 +138,8 @@ def _cmd_fig9(args) -> int:
     from .eval import performance
 
     argv = ["--benchmarks", args.benchmarks] if args.benchmarks else []
+    if args.telemetry:
+        argv += ["--telemetry", args.telemetry]
     return performance.main(argv)
 
 
@@ -137,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
                             default=Technique.SWIFTR)
     p_campaign.add_argument("--trials", type=int, default=250)
     p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.add_argument("--telemetry", default="",
+                            help="write per-trial JSONL telemetry here")
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_profile = sub.add_parser("profile",
@@ -152,11 +188,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig8 = sub.add_parser("fig8", help="reproduce Figure 8 (reliability)")
     p_fig8.add_argument("--trials", type=int, default=120)
     p_fig8.add_argument("--benchmarks", default="")
+    p_fig8.add_argument("--telemetry", default="",
+                        help="write per-trial JSONL telemetry here")
     p_fig8.set_defaults(func=_cmd_fig8)
 
     p_fig9 = sub.add_parser("fig9", help="reproduce Figure 9 (performance)")
     p_fig9.add_argument("--benchmarks", default="")
+    p_fig9.add_argument("--telemetry", default="",
+                        help="write per-cell JSONL telemetry here")
     p_fig9.set_defaults(func=_cmd_fig9)
+
+    p_obs = sub.add_parser("obs", help="telemetry tooling")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_summarize = obs_sub.add_parser(
+        "summarize", help="render a JSONL telemetry file as tables")
+    p_summarize.add_argument("path")
+    p_summarize.set_defaults(func=_cmd_obs_summarize)
 
     return parser
 

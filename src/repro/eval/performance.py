@@ -14,14 +14,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from dataclasses import dataclass, field
 
+from ..obs.sink import JsonlSink
+from ..obs.spans import span
 from ..sim.timing import TimingConfig, TimingResult, TimingSimulator
 from ..transform.protect import PAPER_TECHNIQUES, Technique
 from ..workloads.suite import PAPER_BENCHMARKS
 from .pipeline import PipelineOptions, prepare_machine
 from .report import fmt_norm, geomean, render_table
+from .telemetry import export_session, open_sink
 
 
 @dataclass
@@ -52,8 +54,13 @@ def evaluate_performance(
     options: PipelineOptions | None = None,
     timing: TimingConfig | None = None,
     progress: bool = False,
+    telemetry: JsonlSink | None = None,
 ) -> PerformanceResults:
-    """Time every (benchmark, technique) pair, fault-free."""
+    """Time every (benchmark, technique) pair, fault-free.
+
+    With a ``telemetry`` sink, each cell's cycle-level result is
+    exported as one ``kind="timing"`` JSONL record.
+    """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
     options = options or PipelineOptions()
@@ -61,18 +68,25 @@ def evaluate_performance(
                                  techniques=techniques)
     for bench in benchmarks:
         for tech in techniques:
-            start = time.perf_counter()
-            machine = prepare_machine(bench, tech, options)
-            results.cells[(bench, tech)] = TimingSimulator(
-                machine, timing
-            ).run()
+            with span("fig9.cell", benchmark=bench,
+                      technique=tech.value) as cell_span:
+                machine = prepare_machine(bench, tech, options)
+                cell = TimingSimulator(machine, timing).run()
+            results.cells[(bench, tech)] = cell
+            if telemetry is not None:
+                telemetry.write({
+                    "kind": "timing", "benchmark": bench,
+                    "technique": tech.value, "cycles": cell.cycles,
+                    "instructions": cell.instructions,
+                    "ipc": round(cell.ipc, 4), "loads": cell.loads,
+                    "load_misses": cell.load_misses,
+                    "elapsed": round(cell_span.elapsed, 4),
+                })
             if progress:
-                elapsed = time.perf_counter() - start
-                cell = results.cells[(bench, tech)]
                 print(
                     f"  {bench:10s} {tech.label:14s} "
                     f"cycles={cell.cycles:8d} ipc={cell.ipc:4.2f} "
-                    f"({elapsed:.1f}s)",
+                    f"({cell_span.elapsed:.1f}s)",
                     file=sys.stderr,
                 )
     return results
@@ -107,10 +121,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--benchmarks", type=str, default="",
                         help="comma-separated subset of benchmarks")
+    parser.add_argument("--telemetry", type=str, default="",
+                        help="write per-cell JSONL telemetry to this path")
     args = parser.parse_args(argv)
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(PAPER_BENCHMARKS))
-    results = evaluate_performance(benchmarks=benchmarks, progress=True)
+    sink = open_sink(args.telemetry)
+    results = evaluate_performance(benchmarks=benchmarks, progress=True,
+                                   telemetry=sink)
+    export_session(sink)
     print(render_figure9(results))
     return 0
 

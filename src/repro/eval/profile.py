@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.spans import span
 from ..sim.timing import TimingConfig, TimingResult, TimingSimulator
 from ..transform.protect import Technique
 from .pipeline import PipelineOptions, prepare_machine
@@ -35,9 +36,10 @@ def profile_workload(
     timing: TimingConfig | None = None,
 ) -> tuple[list[FunctionProfile], TimingResult]:
     """A flat per-function profile of one workload build."""
-    machine = prepare_machine(workload, technique,
-                              options or PipelineOptions())
-    result = TimingSimulator(machine, timing).run(profile=True)
+    with span("profile", workload=workload, technique=technique.value):
+        machine = prepare_machine(workload, technique,
+                                  options or PipelineOptions())
+        result = TimingSimulator(machine, timing).run(profile=True)
     total = max(sum(result.function_cycles.values()), 1)
     profiles = [
         FunctionProfile(

@@ -16,14 +16,17 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from dataclasses import dataclass, field
 
 from ..faults.campaign import CampaignResult, run_campaign
+from ..obs.campaign_log import CampaignLog
+from ..obs.sink import JsonlSink
+from ..obs.spans import span
 from ..transform.protect import PAPER_TECHNIQUES, Technique
 from ..workloads.suite import PAPER_BENCHMARKS
 from .pipeline import PipelineOptions, prepare_machine
 from .report import average, fmt_pct, reduction_percent, render_table
+from .telemetry import export_session, open_sink
 
 #: Default trials per (benchmark, technique) cell.  The paper used 250;
 #: override with --trials or the REPRO_TRIALS environment variable.
@@ -71,8 +74,14 @@ def evaluate_reliability(
     seed: int = 2006,
     options: PipelineOptions | None = None,
     progress: bool = False,
+    telemetry: JsonlSink | None = None,
 ) -> ReliabilityResults:
-    """Run the full Figure-8 campaign grid."""
+    """Run the full Figure-8 campaign grid.
+
+    With a ``telemetry`` sink, every trial of every (benchmark,
+    technique) cell is exported as one JSONL record tagged with its
+    cell, ready for ``python -m repro obs summarize``.
+    """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
     options = options or PipelineOptions()
@@ -81,19 +90,26 @@ def evaluate_reliability(
                                  techniques=techniques)
     for bench in benchmarks:
         for tech in techniques:
-            start = time.perf_counter()
-            machine = prepare_machine(bench, tech, options)
-            campaign = run_campaign(machine.program, trials=trials,
-                                    seed=seed, machine=machine)
+            log = None
+            if telemetry is not None:
+                log = CampaignLog(context={"benchmark": bench,
+                                           "technique": tech.value,
+                                           "seed": seed})
+            with span("fig8.cell", benchmark=bench,
+                      technique=tech.value) as cell_span:
+                machine = prepare_machine(bench, tech, options)
+                campaign = run_campaign(machine.program, trials=trials,
+                                        seed=seed, machine=machine, log=log)
             results.cells[(bench, tech)] = campaign
+            if telemetry is not None:
+                telemetry.write_many(log.to_dicts())
             if progress:
-                elapsed = time.perf_counter() - start
                 print(
                     f"  {bench:10s} {tech.label:14s} "
                     f"unACE={campaign.unace_percent:6.2f} "
                     f"SEGV={campaign.segv_percent:5.2f} "
                     f"SDC={campaign.sdc_percent:5.2f} "
-                    f"({elapsed:.1f}s)",
+                    f"({cell_span.elapsed:.1f}s)",
                     file=sys.stderr,
                 )
     return results
@@ -144,12 +160,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2006)
     parser.add_argument("--benchmarks", type=str, default="",
                         help="comma-separated subset of benchmarks")
+    parser.add_argument("--telemetry", type=str, default="",
+                        help="write per-trial JSONL telemetry to this path")
     args = parser.parse_args(argv)
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(PAPER_BENCHMARKS))
+    sink = open_sink(args.telemetry)
     results = evaluate_reliability(benchmarks=benchmarks,
                                    trials=args.trials, seed=args.seed,
-                                   progress=True)
+                                   progress=True, telemetry=sink)
+    export_session(sink)
     print(render_figure8(results))
     return 0
 

@@ -1,0 +1,40 @@
+"""Shared telemetry plumbing for the CLI harnesses.
+
+Every ``--telemetry PATH`` flag goes through these two helpers:
+:func:`open_sink` switches on process-wide span/metric collection and
+opens the JSONL sink; :func:`export_session` drains whatever the run
+collected (spans, then metric snapshots) into the sink and closes it.
+Trial records are written by the harnesses themselves as each campaign
+cell finishes, so the file streams even if the run is interrupted.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..obs import spans
+from ..obs.metrics import registry
+from ..obs.sink import JsonlSink
+
+
+def open_sink(path: str | None) -> JsonlSink | None:
+    """Open a telemetry sink and enable collection (``None`` for no path)."""
+    if not path:
+        return None
+    sink = JsonlSink(path)
+    sink.open()           # fail on a bad path now, not after the campaign
+    spans.enable()
+    return sink
+
+
+def export_session(sink: JsonlSink | None) -> None:
+    """Drain collected spans and metrics into ``sink`` and close it."""
+    if sink is None:
+        return
+    for finished in spans.collector().drain():
+        sink.write(finished.to_dict())
+    for record in registry().snapshot():
+        sink.write(record)
+    sink.close()
+    print(f"telemetry: {sink.written} records -> {sink.path}",
+          file=sys.stderr)

@@ -12,6 +12,9 @@ from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 from ..isa.program import Program
+from ..obs.campaign_log import CampaignLog
+from ..obs.metrics import registry as obs_registry
+from ..obs.spans import enabled as obs_enabled, span
 from ..sim.events import RunStatus
 from ..sim.machine import Machine
 from .injector import golden_run, run_with_fault
@@ -62,9 +65,24 @@ class CampaignResult:
         return 100.0 * self.count(Outcome.DETECTED) / self.trials
 
     def merged(self, other: "CampaignResult") -> "CampaignResult":
+        """Combine two shards of the *same* campaign.
+
+        Precondition: both shards campaigned the same binary, which the
+        golden run's dynamic instruction count fingerprints; merging
+        results from different binaries would silently mix fault-site
+        distributions, so a mismatch raises.
+        """
+        if (self.golden_instructions and other.golden_instructions
+                and self.golden_instructions != other.golden_instructions):
+            raise ValueError(
+                "refusing to merge campaigns over different binaries: "
+                f"golden runs executed {self.golden_instructions} vs "
+                f"{other.golden_instructions} instructions"
+            )
         merged = CampaignResult(
             trials=self.trials + other.trials,
-            golden_instructions=self.golden_instructions,
+            golden_instructions=(self.golden_instructions
+                                 or other.golden_instructions),
             recoveries=self.recoveries + other.recoveries,
         )
         for outcome in Outcome:
@@ -80,12 +98,17 @@ def run_campaign(
     seed: int = 0,
     max_instructions: int = 10_000_000,
     machine: Machine | None = None,
+    log: CampaignLog | None = None,
 ) -> CampaignResult:
     """Run a full SEU campaign against ``program``.
 
     One fault per run, per the SEU model; 250 trials is the paper's
     setting.  Pass a pre-built ``machine`` to amortise compilation when
-    campaigning the same binary repeatedly.
+    campaigning the same binary repeatedly.  Pass a
+    :class:`~repro.obs.campaign_log.CampaignLog` to capture one
+    structured record per trial (fault site, outcome, detection
+    latency); with ``log=None`` the trial loop does no per-trial
+    telemetry work at all.
     """
     machine = machine or Machine(program, max_instructions=max_instructions)
     golden = golden_run(machine)
@@ -95,10 +118,32 @@ def run_campaign(
         )
     result = CampaignResult(golden_instructions=golden.instructions)
     rng = random.Random(seed)
-    for _ in range(trials):
-        site = sample_fault_site(rng, golden.instructions)
-        faulty = run_with_fault(machine, site)
-        result.record(classify(golden, faulty), recovered=faulty.recoveries > 0)
+    log_start = len(log.records) if log is not None else 0
+    with span("campaign", trials=trials, seed=seed):
+        if log is None:
+            for _ in range(trials):
+                site = sample_fault_site(rng, golden.instructions)
+                faulty = run_with_fault(machine, site)
+                result.record(classify(golden, faulty),
+                              recovered=faulty.recoveries > 0)
+        else:
+            for trial in range(trials):
+                site = sample_fault_site(rng, golden.instructions)
+                faulty = run_with_fault(machine, site)
+                outcome = classify(golden, faulty)
+                result.record(outcome, recovered=faulty.recoveries > 0)
+                log.record_trial(trial, site, outcome, faulty)
+    if obs_enabled():
+        registry = obs_registry()
+        registry.counter("campaign.trials").inc(trials)
+        registry.counter("campaign.recovered_runs").inc(result.recoveries)
+        for outcome, count in result.counts.items():
+            registry.counter(f"campaign.outcome.{outcome.value}").inc(count)
+        if log is not None:
+            histogram = registry.histogram("campaign.detection_latency")
+            for record in log.records[log_start:]:
+                if record.detection_latency is not None:
+                    histogram.observe(record.detection_latency)
     return result
 
 

@@ -35,6 +35,7 @@ from ..isa.opcodes import Opcode
 from ..isa.operands import FImm, Imm
 from ..isa.program import HEAP_BASE, Program
 from ..isa.registers import Register
+from ..obs.spans import span
 from . import cast as ast
 from .cparser import parse
 
@@ -946,5 +947,7 @@ class _FunctionCodegen:
 
 def compile_source(source: str) -> Program:
     """Compile mini-C source text into a virtual-ISA program."""
-    unit = parse(source)
-    return Compiler(unit).compile()
+    with span("lang.parse", source_bytes=len(source)):
+        unit = parse(source)
+    with span("lang.codegen", functions=len(unit.functions)):
+        return Compiler(unit).compile()

@@ -1,0 +1,59 @@
+"""Unified telemetry: spans, metrics, and per-trial campaign telemetry.
+
+The measurement substrate for everything quantitative in this repo:
+
+* :mod:`repro.obs.spans` -- timed regions of pipeline work with a
+  context-manager API and a process-global collector;
+* :mod:`repro.obs.metrics` -- counters, gauges, and fixed-bucket
+  histograms in a process-global registry;
+* :mod:`repro.obs.campaign_log` -- one structured record per
+  fault-injection trial, including detection latency;
+* :mod:`repro.obs.sink` -- JSONL export and the summary renderer
+  behind ``python -m repro obs summarize``.
+
+Telemetry is **off by default**; ``enable()`` switches on span and
+metric collection process-wide.  Campaign logs are explicit (pass a
+:class:`CampaignLog` to ``run_campaign``), so the per-trial capture
+never costs anything when nobody asked for it.
+"""
+
+from .campaign_log import (
+    CampaignLog,
+    TrialRecord,
+    detection_icount,
+    detection_latency,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from .sink import JsonlSink, read_jsonl, summarize_path, summarize_records
+from .spans import Span, SpanCollector, collector, disable, enable, enabled, span
+
+__all__ = [
+    "CampaignLog",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Span",
+    "SpanCollector",
+    "TrialRecord",
+    "collector",
+    "detection_icount",
+    "detection_latency",
+    "disable",
+    "enable",
+    "enabled",
+    "read_jsonl",
+    "registry",
+    "span",
+    "summarize_path",
+    "summarize_records",
+]

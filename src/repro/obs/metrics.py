@@ -1,0 +1,138 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A deliberately small metrics surface: named instruments registered in a
+process-global :class:`MetricsRegistry`, snapshotted as plain dicts so
+they can travel through the JSONL sink.  Fixed buckets (rather than
+adaptive ones) keep ``observe`` at one bisect per sample and make
+histograms from different shards mergeable bucket-by-bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default buckets for detection-latency histograms, in dynamic
+#: instructions.  Latencies are short for SWIFT-R (the voter sits right
+#: before each use) and long-tailed for TRUMP's lazy divisibility
+#: checks, so the buckets grow geometrically.
+DEFAULT_LATENCY_BUCKETS = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 4096, 16384, 65536, 262144,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"kind": "metric", "type": "counter",
+                "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"kind": "metric", "type": "gauge",
+                "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` holds samples ``<=
+    buckets[i]``; the final slot is the overflow bucket."""
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str,
+                 buckets: tuple = DEFAULT_LATENCY_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted")
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "metric", "type": "histogram", "name": self.name,
+            "buckets": list(self.buckets), "counts": list(self.counts),
+            "count": self.count, "total": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument, with idempotent constructors."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: tuple = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    def snapshot(self) -> list[dict]:
+        """All instruments as JSONL-ready dicts (counters, gauges,
+        histograms, in that order; each kind name-sorted)."""
+        records = []
+        for store in (self._counters, self._gauges, self._histograms):
+            for name in sorted(store):
+                records.append(store[name].to_dict())
+        return records
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The process-global registry (use :func:`registry` to reach it).
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY

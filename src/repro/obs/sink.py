@@ -1,0 +1,196 @@
+"""Telemetry sinks: JSONL export and an in-memory summary renderer.
+
+Every telemetry record is one flat JSON object per line with a ``kind``
+discriminator (``trial``, ``span``, ``timing``, ``metric``, plus the
+bench-emitted ``fig8_cell``/``fig9_cell``).  JSONL keeps the sink
+append-only -- campaigns can stream records as trials finish, shards
+can concatenate their files, and ``python -m repro obs summarize``
+can render any mix of kinds.  See ``docs/observability.md`` for the
+field-by-field schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+
+
+class JsonlSink:
+    """Append telemetry records to a JSONL file (opened lazily)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+        self.written = 0
+
+    def open(self) -> None:
+        """Open (and truncate) the file now instead of on first write."""
+        if self._handle is None:
+            self._handle = open(self.path, "w")
+
+    def write(self, record: dict) -> None:
+        self.open()
+        self._handle.write(json.dumps(record, separators=(",", ":")))
+        self._handle.write("\n")
+        self.written += 1
+
+    def write_many(self, records: Iterable[dict]) -> None:
+        for record in records:
+            self.write(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load every record of a JSONL telemetry file."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ------------------------------------------------------------------ summary
+def _group_key(record: dict) -> str:
+    parts = [str(record[key]) for key in ("benchmark", "technique")
+             if key in record]
+    return "/".join(parts) or "(all)"
+
+
+def _render_trials(trials: list[dict], render_table) -> list[str]:
+    sections = []
+    counts: dict[str, int] = {}
+    recovered = 0
+    for record in trials:
+        counts[record["outcome"]] = counts.get(record["outcome"], 0) + 1
+        if record.get("recovered"):
+            recovered += 1
+    total = len(trials)
+    rows = [
+        [outcome, str(n), f"{100.0 * n / total:6.2f}"]
+        for outcome, n in sorted(counts.items(), key=lambda kv: -kv[1])
+    ]
+    sections.append(render_table(
+        ["outcome", "count", "percent"], rows,
+        title=f"Campaign outcomes ({total} trials, "
+              f"recovery fired in {recovered})",
+    ))
+
+    groups = sorted({_group_key(r) for r in trials})
+    if len(groups) > 1:
+        rows = []
+        for group in groups:
+            members = [r for r in trials if _group_key(r) == group]
+            n = len(members)
+            c = {}
+            for r in members:
+                c[r["outcome"]] = c.get(r["outcome"], 0) + 1
+            lats = [r["detection_latency"] for r in members
+                    if r["detection_latency"] is not None]
+            mean = f"{sum(lats) / len(lats):9.1f}" if lats else "-"
+            rows.append([
+                group, str(n),
+                f"{100.0 * c.get('unACE', 0) / n:6.2f}",
+                f"{100.0 * c.get('SEGV', 0) / n:6.2f}",
+                f"{100.0 * (c.get('SDC', 0) + c.get('Hang', 0)) / n:6.2f}",
+                mean,
+            ])
+        sections.append(render_table(
+            ["cell", "trials", "unACE%", "SEGV%", "SDC%", "mean latency"],
+            rows, title="Per-cell breakdown",
+        ))
+
+    latencies = [r["detection_latency"] for r in trials
+                 if r.get("detection_latency") is not None]
+    if latencies:
+        histogram = Histogram("detection_latency", DEFAULT_LATENCY_BUCKETS)
+        for value in latencies:
+            histogram.observe(value)
+        width = 32
+        peak = max(histogram.counts)
+        rows = []
+        edges = ([f"<={b}" for b in histogram.buckets]
+                 + [f">{histogram.buckets[-1]}"])
+        for edge, n in zip(edges, histogram.counts):
+            bar = "#" * round(width * n / peak) if peak else ""
+            rows.append([edge, str(n), bar])
+        sections.append(render_table(
+            ["latency (instrs)", "count", ""], rows,
+            title=f"Detection latency: {len(latencies)} detected trials, "
+                  f"mean {histogram.mean:.1f} dynamic instructions",
+        ))
+    return sections
+
+
+def _render_spans(spans: list[dict], render_table) -> list[str]:
+    totals: dict[str, list[float]] = {}
+    for record in spans:
+        totals.setdefault(record["name"], []).append(record["duration"])
+    rows = [
+        [name, str(len(durations)), f"{sum(durations):8.3f}",
+         f"{1e3 * sum(durations) / len(durations):9.3f}"]
+        for name, durations in sorted(totals.items(),
+                                      key=lambda kv: -sum(kv[1]))
+    ]
+    return [render_table(
+        ["span", "count", "total s", "mean ms"], rows,
+        title=f"Spans ({len(spans)} recorded)",
+    )]
+
+
+def _render_timing(cells: list[dict], render_table) -> list[str]:
+    rows = [
+        [str(record.get("benchmark", "?")), str(record.get("technique", "?")),
+         str(record.get("cycles", 0)), str(record.get("instructions", 0)),
+         f"{record.get('ipc', 0.0):4.2f}"]
+        for record in cells
+    ]
+    return [render_table(
+        ["benchmark", "technique", "cycles", "instrs", "ipc"], rows,
+        title="Timing cells",
+    )]
+
+
+def summarize_records(records: list[dict]) -> str:
+    """Render a telemetry record list as human-readable tables."""
+    # Local import: repro.eval imports repro.obs, so importing the
+    # renderer at module scope would close an import cycle.
+    from ..eval.report import render_table
+
+    by_kind: dict[str, list[dict]] = {}
+    for record in records:
+        by_kind.setdefault(record.get("kind", "?"), []).append(record)
+    sections: list[str] = []
+    if "trial" in by_kind:
+        sections += _render_trials(by_kind["trial"], render_table)
+    if "timing" in by_kind:
+        sections += _render_timing(by_kind["timing"], render_table)
+    if "span" in by_kind:
+        sections += _render_spans(by_kind["span"], render_table)
+    leftover = {kind: len(items) for kind, items in by_kind.items()
+                if kind not in ("trial", "timing", "span")}
+    if leftover:
+        sections.append("Other records: " + ", ".join(
+            f"{kind} x{n}" for kind, n in sorted(leftover.items())))
+    if not sections:
+        return "(no telemetry records)"
+    return "\n\n".join(sections)
+
+
+def summarize_path(path: str) -> str:
+    """Read a JSONL telemetry file and render its summary."""
+    return summarize_records(read_jsonl(path))

@@ -1,0 +1,133 @@
+"""Lightweight span-based tracing for the build/eval pipeline.
+
+A span is one timed region of work (``with span("protect",
+technique="swiftr"):``).  Spans always measure their own duration (two
+``perf_counter`` calls -- cheap enough for the pipeline-level regions
+they wrap), but they are only *collected* into the process-global
+collector when telemetry has been switched on with :func:`enable`.
+The enabled check is a single module-level flag read, so code paths
+that never create spans (the ``Machine`` run loop, the campaign trial
+loop) pay nothing at all, and code that does create them pays only the
+timer when telemetry is off.
+
+Spans may nest; the collector records the parent relationship so an
+export can reconstruct the tree (``fig8.cell`` containing ``protect``
+containing ``regalloc`` ...).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+_ENABLED = False
+_EPOCH = perf_counter()
+
+
+def enable() -> None:
+    """Switch on span collection process-wide."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Switch off span collection (collected spans are kept)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+class Span:
+    """One timed region.  Use via :func:`span`, not directly."""
+
+    __slots__ = ("name", "attrs", "start", "end", "parent")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.parent: str | None = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds spent inside the span (0.0 while still open)."""
+        if not self.start:
+            return 0.0
+        return (self.end or perf_counter()) - self.start
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        if _ENABLED:
+            stack = _COLLECTOR.stack
+            if stack:
+                self.parent = stack[-1].name
+            stack.append(self)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = perf_counter()
+        if _ENABLED:
+            _COLLECTOR.close(self)
+        return False
+
+    def to_dict(self) -> dict:
+        record = {
+            "kind": "span",
+            "name": self.name,
+            "start": self.start - _EPOCH,
+            "duration": self.elapsed,
+        }
+        if self.parent:
+            record["parent"] = self.parent
+        record.update(self.attrs)
+        return record
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name} {self.elapsed * 1e3:.3f}ms {self.attrs}>"
+
+
+def span(name: str, **attrs) -> Span:
+    """Open a span: ``with span("regalloc", functions=3) as sp: ...``."""
+    return Span(name, attrs)
+
+
+class SpanCollector:
+    """Process-global store of finished spans (insertion-ordered)."""
+
+    def __init__(self) -> None:
+        self.finished: list[Span] = []
+        self.stack: list[Span] = []
+
+    def close(self, sp: Span) -> None:
+        if self.stack and self.stack[-1] is sp:
+            self.stack.pop()
+        elif sp in self.stack:          # exited out of order; drop through
+            self.stack.remove(sp)
+        self.finished.append(sp)
+
+    def drain(self) -> list[Span]:
+        """Return all finished spans and clear the store."""
+        spans, self.finished = self.finished, []
+        return spans
+
+    def snapshot(self) -> list[Span]:
+        return list(self.finished)
+
+    def clear(self) -> None:
+        self.finished = []
+        self.stack = []
+
+
+_COLLECTOR = SpanCollector()
+
+
+def collector() -> SpanCollector:
+    """The process-global span collector."""
+    return _COLLECTOR

@@ -51,6 +51,10 @@ class RunResult:
     output: list = field(default_factory=list)
     instructions: int = 0
     recoveries: int = 0      # times TRUMP/SWIFT-R repair code actually fired
+    #: Dynamic icount at which the first repair block was entered, or
+    #: ``None`` if no repair fired.  Telemetry derives detection latency
+    #: from this (see :mod:`repro.obs.campaign_log`).
+    first_recovery_icount: int | None = None
 
     @property
     def completed(self) -> bool:

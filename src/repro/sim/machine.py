@@ -19,7 +19,10 @@ Closure protocol: each step returns
   * ``ACT_CALL``  -- the closure stored callee/args in machine fields,
   * ``ACT_RET``   -- return value stored in ``self.ret_value``,
   * ``ACT_EXIT``  -- clean termination,
-  * ``ACT_DETECT``-- a software fault-detection check fired.
+  * ``ACT_DETECT``-- a software fault-detection check fired,
+  * ``ACT_RECOVER`` -- control entered a repair block (TRUMP/SWIFT-R);
+    the run loop counts it and records the dynamic icount of the first
+    one, which is what detection-latency telemetry reads.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from ..isa.opcodes import Opcode, OpKind
 from ..isa.operands import FImm, Imm, MASK64
 from ..isa.program import Program, STACK_TOP
 from ..isa.registers import NUM_GPRS, Register
+from ..obs.spans import span
 from .events import GuestTrap, RunResult, RunStatus, TrapKind
 from .memory import Memory, bits_to_float, float_to_bits
 
@@ -37,6 +41,7 @@ ACT_CALL = -2
 ACT_EXIT = -3
 ACT_RET = -4
 ACT_DETECT = -5
+ACT_RECOVER = -6
 
 _TWO63 = 1 << 63
 _TWO64 = 1 << 64
@@ -99,8 +104,13 @@ class Machine:
         self.functions: dict[str, CompiledFunction] = {}
         self.memory: Memory = Memory.for_program(program)
         self._initial_cells = dict(self.memory.cells)
-        for fn in program:
-            self.functions[fn.name] = self._compile_function(fn)
+        with span("sim.compile", functions=len(program.functions)) as sp:
+            for fn in program:
+                self.functions[fn.name] = self._compile_function(fn)
+            sp.set(instructions=sum(
+                len(blk.instrs)
+                for cf in self.functions.values() for blk in cf.blocks
+            ))
         self.entry = self.functions[program.entry]
         # Mutable run state, created by reset().
         self.regs: list[int] = []
@@ -108,6 +118,7 @@ class Machine:
         self.output: list = []
         self.icount = 0
         self.recoveries = 0
+        self.first_recovery_icount: int | None = None
         self.exit_code = 0
         self.arg_stack: list[list] = []
         self.call_stack: list[tuple] = []
@@ -154,6 +165,7 @@ class Machine:
         self.output = []
         self.icount = 0
         self.recoveries = 0
+        self.first_recovery_icount = None
         self.exit_code = 0
         self.arg_stack = []
         self.call_stack = []
@@ -238,6 +250,15 @@ class Machine:
                     if act == ACT_DETECT:
                         self.icount = icount
                         return self._finish(RunStatus.DETECTED)
+                    if act == ACT_RECOVER:
+                        # Repair-block entry: counted here, in the run
+                        # loop, because only the loop knows the exact
+                        # dynamic icount (detection-latency telemetry).
+                        self.recoveries += 1
+                        if self.first_recovery_icount is None:
+                            self.first_recovery_icount = icount
+                        i += 1
+                        continue
                     raise SimulationError(f"bad step action {act}")
                 if not advanced:
                     # Fell off the end of the block: fallthrough in layout.
@@ -265,6 +286,7 @@ class Machine:
             output=self.output,
             instructions=self.icount,
             recoveries=self.recoveries,
+            first_recovery_icount=self.first_recovery_icount,
         )
         self._finished = result
         self._position = None
@@ -287,6 +309,37 @@ class Machine:
         if i >= len(block.instrs):
             return None
         return block.instrs[i]
+
+    def current_location(self) -> tuple[str, str, int] | None:
+        """``(function, block, instruction index)`` of a paused machine.
+
+        ``None`` once the run has finished.  This is the public face of
+        the internal resume position, for tracers and telemetry.
+        """
+        if self._position is None:
+            return None
+        func, block_idx, i = self._position
+        return (func.name, func.blocks[block_idx].name, i)
+
+    def read_dest(self, instr: Instruction,
+                  function: str = "") -> int | float | None:
+        """Value currently held by ``instr``'s destination register.
+
+        Integer registers are returned signed (two's-complement view),
+        matching what the guest's own comparisons see.  ``function``
+        scopes virtual-register lookups (virtual slots are per-function)
+        and may be omitted for physical-register code.  Returns ``None``
+        when the instruction has no destination.
+        """
+        if instr.dest is None:
+            return None
+        if function:
+            self._current_function = function
+        slot = self.slot_of(instr.dest)
+        if instr.dest.is_float:
+            return self.fregs[slot]
+        raw = self.regs[slot]
+        return _signed(raw)
 
     def step_injected(self, instr: Instruction) -> RunResult | None:
         """Execute ``instr`` *in place of* the next pending instruction.
@@ -345,6 +398,11 @@ class Machine:
             return self._finish(RunStatus.EXITED)
         elif act == ACT_DETECT:
             return self._finish(RunStatus.DETECTED)
+        elif act == ACT_RECOVER:
+            self.recoveries += 1
+            if self.first_recovery_icount is None:
+                self.first_recovery_icount = self.icount
+            self._position = (func, block_idx, i + 1)
         else:
             raise SimulationError(f"bad step action {act}")
         return None
@@ -430,20 +488,21 @@ class Machine:
 
 
 def _count_recovery(step, instr: Instruction):
-    """Wrap TRUMP recovery-entry steps so actual repairs are counted.
+    """Mark TRUMP/SWIFT-R recovery-entry steps so repairs are counted.
 
-    Only the *first* instruction of a recovery block is wrapped (the
-    pass marks it); votes are not counted here because the branch-free
-    voting style executes unconditionally.
+    Only the *first* instruction of a recovery block is marked (the
+    pass tags it, and it is always a NOP); votes are not counted here
+    because the branch-free voting style executes unconditionally.  The
+    step returns ``ACT_RECOVER`` so the run loop -- the only place the
+    exact dynamic icount is known -- does the counting.
     """
     if instr.op is not Opcode.NOP:
         return step
+    return _recovery_entry_step
 
-    def counted(m, _inner=step):
-        m.recoveries += 1
-        return _inner(m)
 
-    return counted
+def _recovery_entry_step(m):
+    return ACT_RECOVER
 
 
 # --------------------------------------------------------------------------

@@ -29,7 +29,14 @@ from ..isa.opcodes import Opcode, OpKind
 from ..isa.operands import Imm, MASK64
 from ..isa.registers import Register
 from .events import GuestTrap, RunStatus, TrapKind
-from .machine import ACT_CALL, ACT_DETECT, ACT_EXIT, ACT_RET, Machine
+from .machine import (
+    ACT_CALL,
+    ACT_DETECT,
+    ACT_EXIT,
+    ACT_RECOVER,
+    ACT_RET,
+    Machine,
+)
 
 
 @dataclass(frozen=True)
@@ -215,6 +222,12 @@ class TimingSimulator:
                     if act == ACT_DETECT:
                         status = RunStatus.DETECTED
                         raise _Done()
+                    if act == ACT_RECOVER:
+                        machine.recoveries += 1
+                        if machine.first_recovery_icount is None:
+                            machine.first_recovery_icount = icount
+                        i += 1
+                        continue
                     raise SimulationError(f"bad step action {act}")
                 if not advanced:
                     block_idx += 1

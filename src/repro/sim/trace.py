@@ -47,28 +47,17 @@ def trace_execution(
     result = machine.run(start)
     entries: list[TraceEntry] = []
     while result.status is RunStatus.PAUSED and len(entries) < limit:
-        position = machine._position
-        func, block_idx, instr_idx = position
-        block = func.blocks[block_idx]
-        instr = block.instrs[instr_idx]
+        function, block, _ = machine.current_location()
+        instr = machine.next_instruction()
         index = machine.icount
         result = machine.run(index + 1)
-        dest_name = None
-        value: int | float | None = None
-        if instr.dest is not None:
-            dest_name = instr.dest.name
-            # Virtual-register slots are scoped by function name.
-            machine._current_function = func.name
-            slot = machine.slot_of(instr.dest)
-            if instr.dest.is_float:
-                value = machine.fregs[slot]
-            else:
-                raw = machine.regs[slot]
-                value = raw - (1 << 64) if raw >= (1 << 63) else raw
+        dest_name = instr.dest.name if instr.dest is not None else None
+        # read_dest scopes virtual-register slots by function name.
+        value = machine.read_dest(instr, function)
         entries.append(TraceEntry(
             index=index,
-            function=func.name,
-            block=block.name,
+            function=function,
+            block=block,
             text=format_instruction(instr),
             dest=dest_name,
             value=value,

@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 
 from ..isa.program import Program
+from ..obs.spans import span
 from .base import clone_program
 from .engine import ProtectionConfig
 from .hybrid import apply_trump_mask, apply_trump_swiftr
@@ -79,18 +80,19 @@ def protect(
     :func:`repro.transform.regalloc.allocate_program` afterwards to
     obtain executable physical-register code.
     """
-    if technique is Technique.NOFT:
-        return clone_program(program)
-    if technique is Technique.MASK:
-        return apply_mask(program)
-    if technique is Technique.TRUMP:
-        return apply_trump(program, config)
-    if technique is Technique.TRUMP_MASK:
-        return apply_trump_mask(program, config)
-    if technique is Technique.TRUMP_SWIFTR:
-        return apply_trump_swiftr(program, config)
-    if technique is Technique.SWIFTR:
-        return apply_swiftr(program, config)
-    if technique is Technique.SWIFT:
-        return apply_swift(program, config)
+    with span("protect", technique=technique.value):
+        if technique is Technique.NOFT:
+            return clone_program(program)
+        if technique is Technique.MASK:
+            return apply_mask(program)
+        if technique is Technique.TRUMP:
+            return apply_trump(program, config)
+        if technique is Technique.TRUMP_MASK:
+            return apply_trump_mask(program, config)
+        if technique is Technique.TRUMP_SWIFTR:
+            return apply_trump_swiftr(program, config)
+        if technique is Technique.SWIFTR:
+            return apply_swiftr(program, config)
+        if technique is Technique.SWIFT:
+            return apply_swift(program, config)
     raise ValueError(f"unknown technique {technique!r}")

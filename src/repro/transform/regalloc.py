@@ -38,6 +38,7 @@ from ..isa.opcodes import Opcode, OpKind
 from ..isa.operands import Imm
 from ..isa.program import Program, WORD
 from ..isa.registers import Register, SP, fpr, gpr
+from ..obs.spans import span
 from .base import transform_program
 
 #: Integer scratch registers reserved for spill code (never allocated).
@@ -376,9 +377,10 @@ def allocate_function(function: Function, program: Program | None = None
 
 def allocate_program(program: Program) -> Program:
     """Allocate every function; the result uses physical registers only."""
-    return transform_program(
-        program, lambda fn, prog: allocate_function(fn, prog)
-    )
+    with span("regalloc", functions=len(program.functions)):
+        return transform_program(
+            program, lambda fn, prog: allocate_function(fn, prog)
+        )
 
 
 def allocation_stats(program: Program) -> AllocationStats:

@@ -1,0 +1,351 @@
+"""The telemetry layer: spans, metrics, campaign logs, sinks, CLI."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultSite, run_campaign, run_with_fault
+from repro.faults.campaign import CampaignResult
+from repro.faults.outcomes import Outcome
+from repro.obs import (
+    CampaignLog,
+    JsonlSink,
+    detection_latency,
+    read_jsonl,
+    summarize_path,
+    summarize_records,
+)
+from repro.obs import metrics, spans
+from repro.sim import Machine, RunStatus
+from repro.transform import Technique, allocate_program, protect
+from repro.__main__ import main as cli_main
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Telemetry state is process-global; isolate every test."""
+    spans.disable()
+    spans.collector().clear()
+    metrics.registry().reset()
+    yield
+    spans.disable()
+    spans.collector().clear()
+    metrics.registry().reset()
+
+
+@pytest.fixture
+def swiftr_binary(simple_program):
+    return allocate_program(protect(simple_program, Technique.SWIFTR))
+
+
+@pytest.fixture
+def swift_binary(simple_program):
+    return allocate_program(protect(simple_program, Technique.SWIFT))
+
+
+# ------------------------------------------------------------------- metrics
+def test_counter_and_gauge():
+    registry = metrics.MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("c").value == 5          # idempotent constructor
+    gauge = registry.gauge("g")
+    gauge.set(2.5)
+    assert registry.gauge("g").value == 2.5
+
+
+def test_histogram_buckets():
+    histogram = metrics.Histogram("h", buckets=(1, 10, 100))
+    for value in (0, 1, 5, 50, 5000):
+        histogram.observe(value)
+    # <=1: {0, 1}, <=10: {5}, <=100: {50}, overflow: {5000}
+    assert histogram.counts == [2, 1, 1, 1]
+    assert histogram.count == 5
+    assert histogram.mean == pytest.approx(5056 / 5)
+    with pytest.raises(ValueError):
+        metrics.Histogram("bad", buckets=(10, 1))
+
+
+def test_registry_snapshot_and_reset():
+    registry = metrics.MetricsRegistry()
+    registry.counter("a").inc()
+    registry.gauge("b").set(1.0)
+    registry.histogram("c", buckets=(1, 2)).observe(1)
+    snapshot = registry.snapshot()
+    assert [record["type"] for record in snapshot] == \
+        ["counter", "gauge", "histogram"]
+    assert all(record["kind"] == "metric" for record in snapshot)
+    registry.reset()
+    assert registry.snapshot() == []
+
+
+# --------------------------------------------------------------------- spans
+def test_span_collection_gated_on_enable():
+    with spans.span("off"):
+        pass
+    assert spans.collector().snapshot() == []
+    spans.enable()
+    with spans.span("on", tag="x") as sp:
+        pass
+    assert sp.elapsed >= 0.0
+    collected = spans.collector().drain()
+    assert [s.name for s in collected] == ["on"]
+    assert collected[0].to_dict()["tag"] == "x"
+    assert spans.collector().snapshot() == []
+
+
+def test_span_nesting_records_parent():
+    spans.enable()
+    with spans.span("outer"):
+        with spans.span("inner"):
+            pass
+    inner, outer = spans.collector().drain()
+    assert (inner.name, inner.parent) == ("inner", "outer")
+    assert outer.parent is None
+    assert "parent" not in outer.to_dict()
+
+
+def test_pipeline_emits_spans(simple_program):
+    spans.enable()
+    allocate_program(protect(simple_program, Technique.SWIFTR))
+    names = {s.name for s in spans.collector().drain()}
+    assert {"protect", "regalloc"} <= names
+
+
+# ------------------------------------------------- campaign log + latencies
+def test_campaign_log_matches_result(swiftr_binary):
+    log = CampaignLog(context={"technique": "swiftr"})
+    result = run_campaign(swiftr_binary, trials=80, seed=3, log=log)
+    assert len(log) == 80
+    assert log.outcome_counts() == \
+        {o.value: n for o, n in result.counts.items()}
+    records = log.to_dicts()
+    assert all(r["kind"] == "trial" and r["technique"] == "swiftr"
+               for r in records)
+    recovered = [r for r in records if r["recovered"]]
+    assert len(recovered) == result.recoveries
+    # Every recovered run has a measured detection latency...
+    assert all(r["detection_latency"] is not None for r in recovered)
+    # ...and non-recovered, non-detected runs have none.
+    silent = [r for r in records
+              if not r["recovered"] and r["status"] != "detected"]
+    assert all(r["detection_latency"] is None for r in silent)
+
+
+def test_detection_latency_from_swift_checks(swift_binary):
+    log = CampaignLog()
+    result = run_campaign(swift_binary, trials=80, seed=3, log=log)
+    detected = [r for r in log.to_dicts() if r["outcome"] == "DUE"]
+    assert len(detected) == result.count(Outcome.DETECTED)
+    assert detected, "SWIFT should detect some faults at 80 trials"
+    for record in detected:
+        assert record["status"] == "detected"
+        assert record["detection_latency"] == \
+            record["instructions"] - record["dynamic_index"]
+
+
+def test_first_recovery_icount_is_exact(swiftr_binary):
+    """Replaying a logged fault site reproduces its latency."""
+    log = CampaignLog()
+    run_campaign(swiftr_binary, trials=80, seed=3, log=log)
+    recovered = [r for r in log.records if r.recovered]
+    assert recovered
+    machine = Machine(swiftr_binary)
+    for record in recovered[:5]:
+        site = FaultSite(dynamic_index=record.dynamic_index,
+                         reg_index=record.reg_index, bit=record.bit)
+        faulty = run_with_fault(machine, site)
+        assert faulty.first_recovery_icount is not None
+        assert faulty.first_recovery_icount > site.dynamic_index
+        assert detection_latency(site, faulty) == record.detection_latency
+
+
+def test_campaign_metrics_recorded(swiftr_binary):
+    spans.enable()
+    result = run_campaign(swiftr_binary, trials=40, seed=1,
+                          log=CampaignLog())
+    registry = metrics.registry()
+    assert registry.counter("campaign.trials").value == 40
+    assert registry.counter("campaign.recovered_runs").value == \
+        result.recoveries
+    histogram = registry.histogram("campaign.detection_latency")
+    assert histogram.count >= result.recoveries
+
+
+# ------------------------------------------------------------ merged shards
+def test_merged_shards_combine():
+    a = CampaignResult(golden_instructions=100)
+    b = CampaignResult(golden_instructions=100)
+    a.record(Outcome.UNACE, recovered=True)
+    b.record(Outcome.SDC, recovered=False)
+    merged = a.merged(b)
+    assert merged.trials == 2
+    assert merged.recoveries == 1
+    assert merged.golden_instructions == 100
+    assert merged.count(Outcome.UNACE) == 1
+    assert merged.count(Outcome.SDC) == 1
+
+
+def test_merged_rejects_different_binaries():
+    a = CampaignResult(golden_instructions=100)
+    b = CampaignResult(golden_instructions=200)
+    with pytest.raises(ValueError, match="different binaries"):
+        a.merged(b)
+    # A shard with no golden fingerprint adopts the other's.
+    c = CampaignResult(golden_instructions=0)
+    assert a.merged(c).golden_instructions == 100
+
+
+# ------------------------------------------------------------------- sinks
+def test_jsonl_round_trip(tmp_path, swiftr_binary):
+    path = str(tmp_path / "t.jsonl")
+    log = CampaignLog(context={"benchmark": "simple"})
+    run_campaign(swiftr_binary, trials=30, seed=0, log=log)
+    with JsonlSink(path) as sink:
+        sink.write_many(log.to_dicts())
+    records = read_jsonl(path)
+    assert len(records) == 30
+    assert records == log.to_dicts()
+
+
+def test_summarize_matches_campaign(tmp_path, swiftr_binary):
+    path = str(tmp_path / "t.jsonl")
+    log = CampaignLog()
+    result = run_campaign(swiftr_binary, trials=60, seed=0, log=log)
+    with JsonlSink(path) as sink:
+        sink.write_many(log.to_dicts())
+    summary = summarize_path(path)
+    assert f"Campaign outcomes ({result.trials} trials" in summary
+    assert f"recovery fired in {result.recoveries}" in summary
+    for outcome, count in result.counts.items():
+        assert outcome.value in summary
+    if log.latencies():
+        assert "Detection latency" in summary
+
+
+def test_summarize_mixed_kinds():
+    records = [
+        {"kind": "trial", "benchmark": "a", "technique": "swiftr",
+         "outcome": "unACE", "recovered": False, "detection_latency": None},
+        {"kind": "trial", "benchmark": "b", "technique": "noft",
+         "outcome": "SDC", "recovered": False, "detection_latency": None},
+        {"kind": "span", "name": "protect", "duration": 0.25},
+        {"kind": "timing", "benchmark": "a", "technique": "noft",
+         "cycles": 10, "instructions": 20, "ipc": 2.0},
+        {"kind": "metric", "type": "counter", "name": "x", "value": 1},
+    ]
+    summary = summarize_records(records)
+    assert "Per-cell breakdown" in summary       # two distinct cells
+    assert "Timing cells" in summary
+    assert "Spans" in summary
+    assert "metric x1" in summary
+    assert summarize_records([]) == "(no telemetry records)"
+
+
+# --------------------------------------------------------------- harnesses
+def test_evaluate_reliability_telemetry(tmp_path):
+    from repro.eval import evaluate_reliability
+
+    path = str(tmp_path / "fig8.jsonl")
+    sink = JsonlSink(path)
+    results = evaluate_reliability(
+        benchmarks=["crc32"], trials=20, seed=1,
+        techniques=[Technique.NOFT, Technique.SWIFTR], telemetry=sink)
+    sink.close()
+    records = read_jsonl(path)
+    assert len(records) == 40
+    swiftr = [r for r in records if r["technique"] == "swiftr"]
+    assert len(swiftr) == 20
+    assert all(r["benchmark"] == "crc32" for r in records)
+    cell = results.cell("crc32", Technique.SWIFTR)
+    recovered = sum(1 for r in swiftr if r["recovered"])
+    assert recovered == cell.recoveries
+
+
+def test_evaluate_performance_telemetry(tmp_path):
+    from repro.eval import evaluate_performance
+
+    path = str(tmp_path / "fig9.jsonl")
+    sink = JsonlSink(path)
+    results = evaluate_performance(
+        benchmarks=["crc32"],
+        techniques=[Technique.NOFT, Technique.SWIFTR], telemetry=sink)
+    sink.close()
+    records = read_jsonl(path)
+    assert [r["kind"] for r in records] == ["timing", "timing"]
+    by_tech = {r["technique"]: r for r in records}
+    assert by_tech["noft"]["cycles"] == \
+        results.cycles("crc32", Technique.NOFT)
+    assert by_tech["swiftr"]["cycles"] > by_tech["noft"]["cycles"]
+
+
+# --------------------------------------------------------------------- CLI
+def test_cli_campaign_telemetry_and_summarize(tmp_path, capsys):
+    source = tmp_path / "demo.c"
+    source.write_text(
+        "int main() { int t = 0; "
+        "for (int i = 0; i < 9; i++) { t += i * i; } print(t); return 0; }"
+    )
+    path = str(tmp_path / "t.jsonl")
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--trials", "40", "--telemetry", path]) == 0
+    out = capsys.readouterr()
+    assert "unACE" in out.out
+    assert path in out.err
+    records = read_jsonl(path)
+    trials = [r for r in records if r["kind"] == "trial"]
+    assert len(trials) == 40
+    kinds = {r["kind"] for r in records}
+    assert "span" in kinds and "metric" in kinds
+    # Each line is valid standalone JSON with a null-able latency field.
+    with open(path) as handle:
+        first = json.loads(handle.readline())
+    assert "detection_latency" in first
+
+    assert cli_main(["obs", "summarize", path]) == 0
+    summary = capsys.readouterr().out
+    assert "Campaign outcomes (40 trials" in summary
+    assert "Spans" in summary
+
+
+def test_cli_fig9_telemetry(tmp_path, capsys):
+    path = str(tmp_path / "fig9.jsonl")
+    assert cli_main(["fig9", "--benchmarks", "crc32",
+                     "--telemetry", path]) == 0
+    assert "Figure 9" in capsys.readouterr().out
+    kinds = {r["kind"] for r in read_jsonl(path)}
+    assert "timing" in kinds and "span" in kinds
+
+
+# --------------------------------------------------- machine public surface
+def test_machine_current_location_and_read_dest(simple_program):
+    machine = Machine(simple_program)
+    machine.reset()
+    result = machine.run(3)
+    assert result.status is RunStatus.PAUSED
+    function, block, index = machine.current_location()
+    assert function == "main"
+    assert block == "entry"
+    assert index == 3
+    instr = machine.next_instruction()
+    machine.run(4)
+    value = machine.read_dest(instr, function)
+    if instr.dest is not None:
+        assert value is not None
+    # Finished machines have no location.
+    machine.run(None)
+    assert machine.current_location() is None
+
+
+def test_read_dest_signed_view(simple_program):
+    machine = Machine(simple_program)
+    machine.reset()
+    machine.run(1)
+    instr = machine.next_instruction()
+    machine.run(2)
+    if instr.dest is not None and not instr.dest.is_float:
+        machine._current_function = "main"
+        slot = machine.slot_of(instr.dest)
+        machine.regs[slot] = (1 << 64) - 1       # two's-complement -1
+        assert machine.read_dest(instr, "main") == -1

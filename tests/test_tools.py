@@ -7,7 +7,7 @@ from repro.eval.profile import (
     profile_workload,
     render_profile,
 )
-from repro.sim import Machine
+from repro.sim import Machine, RunStatus
 from repro.sim.trace import format_trace, trace_execution
 from repro.transform import Technique, allocate_program
 from repro.workloads import build
@@ -43,6 +43,30 @@ def test_trace_formatting(simple_program):
     assert "main" in text and "<-" in text
 
 
+def test_trace_workload_entry_fields():
+    machine = Machine(allocate_program(build("crc32")))
+    entries, result = trace_execution(machine, limit=200)
+    assert len(entries) == 200
+    assert [e.index for e in entries] == list(range(200))
+    assert all(e.function and e.block and e.text for e in entries)
+    # The trace window crosses a call boundary in crc32's setup.
+    assert {e.function for e in entries} >= {"main", "build_table"}
+    assert result.status is RunStatus.EXITED
+
+
+def test_trace_protected_binary(simple_program, simple_golden):
+    """Tracing uses only the machine's public surface, so it works on
+    hardened binaries whose blocks include recovery entries."""
+    from repro.transform import protect
+
+    hardened = allocate_program(protect(simple_program, Technique.SWIFTR))
+    machine = Machine(hardened)
+    entries, result = trace_execution(machine, limit=100_000)
+    assert result.output == simple_golden.output
+    assert len(entries) == result.instructions
+    assert len(entries) > simple_golden.instructions   # redundancy costs
+
+
 # ----------------------------------------------------------------- profiler
 def test_profile_attributes_cycles():
     profiles, result = profile_workload("vortex", Technique.NOFT)
@@ -67,6 +91,16 @@ def test_overhead_by_function():
     assert all(value > 0.8 for value in overheads.values())
     # The logical-heavy CRC loop in main pays for triplication.
     assert overheads["main"] > 1.1
+
+
+def test_profile_hot_functions_pay_for_protection():
+    """NOFT vs SWIFT-R: every hot function carries redundancy cost."""
+    base, _ = profile_workload("matmul", Technique.NOFT)
+    overheads = overhead_by_function("matmul", Technique.SWIFTR)
+    hot = [p.name for p in base if p.cycle_share > 0.10]
+    assert hot
+    for name in hot:
+        assert overheads[name] > 1.0
 
 
 # ---------------------------------------------------------------------- CLI
