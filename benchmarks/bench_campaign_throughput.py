@@ -1,0 +1,101 @@
+"""Campaign throughput: serial vs checkpointed vs process-parallel.
+
+Campaigns are the evaluation's dominant cost (250 trials per
+(benchmark, technique) cell in the paper).  This bench measures
+trials/sec on a SWIFT-R-protected workload along the two optimisation
+axes this repo implements -- golden-run checkpointing with
+convergence fast-forward, and ``--jobs`` process sharding -- and
+asserts that all three paths agree bit-for-bit while the checkpointed
+path is at least 2x the serial reference on a single core.
+
+Run:  pytest benchmarks/bench_campaign_throughput.py -s
+Exports: BENCH_campaign.json (one JSONL record per mode + summary).
+"""
+
+import os
+import time
+
+from conftest import TRIALS
+
+from repro.eval.pipeline import prepare
+from repro.faults import run_campaign, run_parallel_campaign
+from repro.obs.sink import JsonlSink
+from repro.sim import Machine
+from repro.transform import Technique
+
+WORKLOAD = "crc32"
+SEED = 2006
+MAX_INSTRUCTIONS = 20_000_000
+
+
+def _timed(label, runner):
+    start = time.perf_counter()
+    result = runner()
+    elapsed = time.perf_counter() - start
+    record = {
+        "kind": "campaign_bench",
+        "mode": label,
+        "workload": WORKLOAD,
+        "technique": Technique.SWIFTR.value,
+        "trials": result.trials,
+        "seconds": round(elapsed, 4),
+        "trials_per_sec": round(result.trials / elapsed, 2),
+    }
+    print(f"  {label:12s} {elapsed:7.3f}s  "
+          f"{record['trials_per_sec']:8.1f} trials/s")
+    return result, record
+
+
+def test_campaign_throughput():
+    program = prepare(WORKLOAD, Technique.SWIFTR)
+    # Fresh machine per mode so no mode benefits from a warmed peer;
+    # compilation happens outside the timed region either way.
+    machines = [Machine(program, max_instructions=MAX_INSTRUCTIONS)
+                for _ in range(2)]
+    jobs = max(2, min(4, os.cpu_count() or 1))
+
+    print()
+    serial, serial_rec = _timed(
+        "serial",
+        lambda: run_campaign(program, trials=TRIALS, seed=SEED,
+                             machine=machines[0], checkpoint_interval=0),
+    )
+    checkpointed, ckpt_rec = _timed(
+        "checkpointed",
+        lambda: run_campaign(program, trials=TRIALS, seed=SEED,
+                             machine=machines[1]),
+    )
+    parallel, par_rec = _timed(
+        f"parallel x{jobs}",
+        lambda: run_parallel_campaign(program, trials=TRIALS, seed=SEED,
+                                      jobs=jobs,
+                                      max_instructions=MAX_INSTRUCTIONS),
+    )
+    par_rec["mode"] = "parallel"
+    par_rec["jobs"] = jobs
+
+    # All three paths are the same campaign, bit for bit.
+    assert checkpointed == serial
+    assert parallel == serial
+
+    ckpt_speedup = ckpt_rec["trials_per_sec"] / serial_rec["trials_per_sec"]
+    par_speedup = par_rec["trials_per_sec"] / serial_rec["trials_per_sec"]
+    print(f"  checkpointing speedup: {ckpt_speedup:.2f}x "
+          f"(parallel x{jobs}: {par_speedup:.2f}x)")
+
+    with JsonlSink("BENCH_campaign.json") as sink:
+        sink.write_many([serial_rec, ckpt_rec, par_rec])
+        sink.write({
+            "kind": "campaign_bench_summary",
+            "workload": WORKLOAD,
+            "technique": Technique.SWIFTR.value,
+            "trials": TRIALS,
+            "seed": SEED,
+            "checkpoint_speedup": round(ckpt_speedup, 2),
+            "parallel_jobs": jobs,
+            "parallel_speedup": round(par_speedup, 2),
+        })
+
+    # The acceptance bar: checkpointing alone (one core, no pool)
+    # at least doubles campaign throughput on a protected workload.
+    assert ckpt_speedup >= 2.0

@@ -12,7 +12,9 @@ Subcommands:
 
 ``campaign``, ``fig8``, and ``fig9`` accept ``--telemetry PATH`` to
 export spans, metrics, and per-trial records as JSONL (see
-``docs/observability.md``).
+``docs/observability.md``).  ``campaign`` and ``fig8`` accept
+``--jobs N`` to shard trials over worker processes with bit-identical
+results (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -67,6 +69,7 @@ def _cmd_asm(args) -> int:
 
 def _cmd_campaign(args) -> int:
     from .eval.telemetry import export_session, open_sink
+    from .faults import run_parallel_campaign
     from .obs import CampaignLog
 
     sink = open_sink(args.telemetry)
@@ -76,8 +79,9 @@ def _cmd_campaign(args) -> int:
                                    "technique": args.technique.value,
                                    "seed": args.seed})
     binary = _load_binary(args.file, args.technique)
-    campaign = run_campaign(binary, trials=args.trials, seed=args.seed,
-                            log=log)
+    campaign = run_parallel_campaign(binary, trials=args.trials,
+                                     seed=args.seed, jobs=args.jobs,
+                                     log=log)
     print(f"technique : {args.technique.label}")
     print(f"trials    : {campaign.trials}")
     print(f"unACE     : {campaign.unace_percent:6.2f}%")
@@ -126,7 +130,7 @@ def _cmd_workloads(args) -> int:
 def _cmd_fig8(args) -> int:
     from .eval import reliability
 
-    argv = ["--trials", str(args.trials)]
+    argv = ["--trials", str(args.trials), "--jobs", str(args.jobs)]
     if args.benchmarks:
         argv += ["--benchmarks", args.benchmarks]
     if args.telemetry:
@@ -171,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
                             default=Technique.SWIFTR)
     p_campaign.add_argument("--trials", type=int, default=250)
     p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (0 = all cores); "
+                                 "results are identical for any value")
     p_campaign.add_argument("--telemetry", default="",
                             help="write per-trial JSONL telemetry here")
     p_campaign.set_defaults(func=_cmd_campaign)
@@ -187,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig8 = sub.add_parser("fig8", help="reproduce Figure 8 (reliability)")
     p_fig8.add_argument("--trials", type=int, default=120)
+    p_fig8.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per campaign cell "
+                             "(0 = all cores)")
     p_fig8.add_argument("--benchmarks", default="")
     p_fig8.add_argument("--telemetry", default="",
                         help="write per-trial JSONL telemetry here")

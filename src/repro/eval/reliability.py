@@ -19,6 +19,7 @@ import sys
 from dataclasses import dataclass, field
 
 from ..faults.campaign import CampaignResult, run_campaign
+from ..faults.parallel import run_parallel_campaign
 from ..obs.campaign_log import CampaignLog
 from ..obs.sink import JsonlSink
 from ..obs.spans import span
@@ -75,12 +76,15 @@ def evaluate_reliability(
     options: PipelineOptions | None = None,
     progress: bool = False,
     telemetry: JsonlSink | None = None,
+    jobs: int = 1,
 ) -> ReliabilityResults:
     """Run the full Figure-8 campaign grid.
 
     With a ``telemetry`` sink, every trial of every (benchmark,
     technique) cell is exported as one JSONL record tagged with its
-    cell, ready for ``python -m repro obs summarize``.
+    cell, ready for ``python -m repro obs summarize``.  With
+    ``jobs > 1`` (or 0 = all cores) each cell's trials are sharded
+    over worker processes; results are bit-identical either way.
     """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
@@ -98,8 +102,15 @@ def evaluate_reliability(
             with span("fig8.cell", benchmark=bench,
                       technique=tech.value) as cell_span:
                 machine = prepare_machine(bench, tech, options)
-                campaign = run_campaign(machine.program, trials=trials,
-                                        seed=seed, machine=machine, log=log)
+                if jobs == 1:
+                    campaign = run_campaign(machine.program, trials=trials,
+                                            seed=seed, machine=machine,
+                                            log=log)
+                else:
+                    campaign = run_parallel_campaign(
+                        machine.program, trials=trials, seed=seed,
+                        jobs=jobs, machine=machine, log=log,
+                    )
             results.cells[(bench, tech)] = campaign
             if telemetry is not None:
                 telemetry.write_many(log.to_dicts())
@@ -160,6 +171,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2006)
     parser.add_argument("--benchmarks", type=str, default="",
                         help="comma-separated subset of benchmarks")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per campaign cell "
+                             "(0 = all cores); results are identical")
     parser.add_argument("--telemetry", type=str, default="",
                         help="write per-trial JSONL telemetry to this path")
     args = parser.parse_args(argv)
@@ -168,7 +182,8 @@ def main(argv: list[str] | None = None) -> int:
     sink = open_sink(args.telemetry)
     results = evaluate_reliability(benchmarks=benchmarks,
                                    trials=args.trials, seed=args.seed,
-                                   progress=True, telemetry=sink)
+                                   progress=True, telemetry=sink,
+                                   jobs=args.jobs)
     export_session(sink)
     print(render_figure8(results))
     return 0

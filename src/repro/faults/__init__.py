@@ -6,7 +6,13 @@ from .controlflow_faults import (
     run_wild_jump_campaign,
     run_with_wild_jump,
 )
-from .injector import golden_run, run_with_fault
+from .injector import (
+    CheckpointStore,
+    build_checkpoints,
+    fault_landed,
+    golden_run,
+    run_with_fault,
+)
 from .model import FaultSite, INJECTABLE_GPRS, sample_fault_site, sample_sites
 from .opcode_faults import (
     OpcodeFaultInjector,
@@ -14,21 +20,27 @@ from .opcode_faults import (
     run_opcode_campaign,
 )
 from .outcomes import Outcome, classify
+from .parallel import default_jobs, run_parallel_campaign
 from .stats import Proportion, geometric_mean
 
 __all__ = [
     "CampaignResult",
+    "CheckpointStore",
     "FaultSite",
     "INJECTABLE_GPRS",
     "OpcodeFaultInjector",
     "OpcodeFaultSite",
     "Outcome",
     "Proportion",
+    "build_checkpoints",
     "classify",
+    "default_jobs",
+    "fault_landed",
     "geometric_mean",
     "golden_run",
     "run_campaign",
     "run_opcode_campaign",
+    "run_parallel_campaign",
     "run_sites",
     "run_wild_jump_campaign",
     "run_with_fault",

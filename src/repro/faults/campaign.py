@@ -17,7 +17,12 @@ from ..obs.metrics import registry as obs_registry
 from ..obs.spans import enabled as obs_enabled, span
 from ..sim.events import RunStatus
 from ..sim.machine import Machine
-from .injector import golden_run, run_with_fault
+from .injector import (
+    CheckpointStore,
+    fault_landed,
+    golden_run,
+    run_with_fault,
+)
 from .model import FaultSite, sample_fault_site
 from .outcomes import Outcome, classify
 from .stats import Proportion
@@ -31,12 +36,21 @@ class CampaignResult:
     counts: dict[Outcome, int] = field(default_factory=dict)
     recoveries: int = 0            # runs in which repair code actually fired
     golden_instructions: int = 0
+    #: Trials whose sampled site fell past the program's termination:
+    #: the run ended before the flip could happen, so the clean result
+    #: was classified (necessarily unACE).  Nonzero counts mean the
+    #: unACE bucket contains trials that never actually injected --
+    #: auditable here instead of silently inflating reliability.
+    never_landed: int = 0
 
-    def record(self, outcome: Outcome, recovered: bool) -> None:
+    def record(self, outcome: Outcome, recovered: bool,
+               landed: bool = True) -> None:
         self.trials += 1
         self.counts[outcome] = self.counts.get(outcome, 0) + 1
         if recovered:
             self.recoveries += 1
+        if not landed:
+            self.never_landed += 1
 
     def count(self, outcome: Outcome) -> int:
         return self.counts.get(outcome, 0)
@@ -84,12 +98,33 @@ class CampaignResult:
             golden_instructions=(self.golden_instructions
                                  or other.golden_instructions),
             recoveries=self.recoveries + other.recoveries,
+            never_landed=self.never_landed + other.never_landed,
         )
         for outcome in Outcome:
             total = self.count(outcome) + other.count(outcome)
             if total:
                 merged.counts[outcome] = total
         return merged
+
+
+def record_campaign_metrics(result: CampaignResult,
+                            log: CampaignLog | None,
+                            log_start: int = 0) -> None:
+    """Export a finished campaign's aggregates to the metrics registry."""
+    if not obs_enabled():
+        return
+    registry = obs_registry()
+    registry.counter("campaign.trials").inc(result.trials)
+    registry.counter("campaign.recovered_runs").inc(result.recoveries)
+    if result.never_landed:
+        registry.counter("campaign.never_landed").inc(result.never_landed)
+    for outcome, count in result.counts.items():
+        registry.counter(f"campaign.outcome.{outcome.value}").inc(count)
+    if log is not None:
+        histogram = registry.histogram("campaign.detection_latency")
+        for record in log.records[log_start:]:
+            if record.detection_latency is not None:
+                histogram.observe(record.detection_latency)
 
 
 def run_campaign(
@@ -99,6 +134,7 @@ def run_campaign(
     max_instructions: int = 10_000_000,
     machine: Machine | None = None,
     log: CampaignLog | None = None,
+    checkpoint_interval: int | None = None,
 ) -> CampaignResult:
     """Run a full SEU campaign against ``program``.
 
@@ -109,9 +145,23 @@ def run_campaign(
     structured record per trial (fault site, outcome, detection
     latency); with ``log=None`` the trial loop does no per-trial
     telemetry work at all.
+
+    Trials replay from periodic golden-run checkpoints (see
+    :class:`~repro.faults.injector.CheckpointStore`); pass
+    ``checkpoint_interval=0`` to force the original full-replay path,
+    or a positive value to fix the spacing instead of auto-tuning it.
+    Both paths give bit-identical results.
     """
     machine = machine or Machine(program, max_instructions=max_instructions)
-    golden = golden_run(machine)
+    if checkpoint_interval == 0:
+        # Full replay-from-zero per trial: the original, slow path,
+        # kept for benchmarking and as the equivalence reference.
+        golden = golden_run(machine)
+        run_trial = lambda site: run_with_fault(machine, site)  # noqa: E731
+    else:
+        store = CheckpointStore(machine, interval=checkpoint_interval)
+        golden = store.build()      # this *is* the golden run
+        run_trial = store.run_with_fault
     if golden.status is not RunStatus.EXITED:
         raise SimulationError(
             f"golden run did not complete cleanly: {golden.status}"
@@ -123,27 +173,19 @@ def run_campaign(
         if log is None:
             for _ in range(trials):
                 site = sample_fault_site(rng, golden.instructions)
-                faulty = run_with_fault(machine, site)
+                faulty = run_trial(site)
                 result.record(classify(golden, faulty),
-                              recovered=faulty.recoveries > 0)
+                              recovered=faulty.recoveries > 0,
+                              landed=fault_landed(site, faulty))
         else:
             for trial in range(trials):
                 site = sample_fault_site(rng, golden.instructions)
-                faulty = run_with_fault(machine, site)
+                faulty = run_trial(site)
                 outcome = classify(golden, faulty)
-                result.record(outcome, recovered=faulty.recoveries > 0)
+                result.record(outcome, recovered=faulty.recoveries > 0,
+                              landed=fault_landed(site, faulty))
                 log.record_trial(trial, site, outcome, faulty)
-    if obs_enabled():
-        registry = obs_registry()
-        registry.counter("campaign.trials").inc(trials)
-        registry.counter("campaign.recovered_runs").inc(result.recoveries)
-        for outcome, count in result.counts.items():
-            registry.counter(f"campaign.outcome.{outcome.value}").inc(count)
-        if log is not None:
-            histogram = registry.histogram("campaign.detection_latency")
-            for record in log.records[log_start:]:
-                if record.detection_latency is not None:
-                    histogram.observe(record.detection_latency)
+    record_campaign_metrics(result, log, log_start)
     return result
 
 
@@ -151,8 +193,19 @@ def run_sites(
     program: Program,
     sites: list[FaultSite],
     max_instructions: int = 10_000_000,
+    machine: Machine | None = None,
 ) -> list[Outcome]:
-    """Classify an explicit list of fault sites (used by tests)."""
-    machine = Machine(program, max_instructions=max_instructions)
+    """Classify an explicit list of fault sites (used by tests).
+
+    Accepts a pre-built ``machine`` to amortise compilation, and
+    enforces the same clean-golden-run precondition as
+    :func:`run_campaign`: classifying faults against a golden run that
+    itself failed would be meaningless.
+    """
+    machine = machine or Machine(program, max_instructions=max_instructions)
     golden = golden_run(machine)
+    if golden.status is not RunStatus.EXITED:
+        raise SimulationError(
+            f"golden run did not complete cleanly: {golden.status}"
+        )
     return [classify(golden, run_with_fault(machine, s)) for s in sites]

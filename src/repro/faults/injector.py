@@ -3,13 +3,46 @@
 The machine's precise pause/resume makes the paper's methodology exact:
 the run executes ``site.dynamic_index`` instructions, one register bit
 is flipped, and execution resumes to an outcome.
+
+Two execution strategies are provided:
+
+* :func:`run_with_fault` -- the straightforward path: reset, replay
+  from instruction 0 to the injection point, flip, run to an outcome.
+  Every trial costs a full pre-fault replay (``golden/2`` dynamic
+  instructions on average).
+* :class:`CheckpointStore` -- replay-from-checkpoint.  The golden run
+  is executed once, pausing every ``interval`` dynamic instructions to
+  snapshot the complete architectural state.  Each trial then restores
+  the nearest checkpoint at or before the injection point and runs
+  forward, cutting the average pre-fault replay to ``interval/2``.  On
+  top of that, the post-fault run is resumed in checkpoint-sized slices
+  and compared against the golden checkpoints: the moment the faulty
+  state re-converges with the golden state (the flipped bit was masked,
+  overwritten, or repaired by recovery code), the rest of the run is
+  provably identical to the golden run and its result is spliced in
+  instead of re-executed.  For recovery-protected binaries most trials
+  converge within one or two intervals of the injection, which is where
+  the bulk of the campaign speedup comes from.
+
+Both strategies produce bit-identical :class:`RunResult`\\ s for the
+same fault site; ``tests/test_checkpoint.py`` holds that equivalence.
 """
 
 from __future__ import annotations
 
+from ..errors import SimulationError
 from ..sim.events import RunResult, RunStatus
-from ..sim.machine import Machine
+from ..sim.machine import Machine, MachineSnapshot
 from .model import FaultSite
+
+#: Checkpoint-count ceiling for the auto-tuned interval.  Each
+#: checkpoint copies the register files and the (sparse) memory image,
+#: so the cap bounds both build time and resident memory.
+MAX_CHECKPOINTS = 64
+
+#: Starting spacing for the auto-tuned interval; below this, restore
+#: overhead is comparable to simply executing the instructions.
+MIN_CHECKPOINT_INTERVAL = 512
 
 
 def run_with_fault(machine: Machine, site: FaultSite) -> RunResult:
@@ -29,3 +62,146 @@ def golden_run(machine: Machine) -> RunResult:
     """One fault-free reference execution."""
     machine.reset()
     return machine.run(None)
+
+
+def fault_landed(site: FaultSite, faulty: RunResult) -> bool:
+    """Did the trial actually inject, or did the run end first?
+
+    A landed fault always executes past the injection point (the flip
+    happens at a pause, and the resumed run retires at least one more
+    instruction before any terminal status), so the final instruction
+    count discriminates exactly.
+    """
+    return faulty.instructions > site.dynamic_index
+
+
+class CheckpointStore:
+    """Periodic golden-run checkpoints plus checkpointed trial replay.
+
+    Build once per (machine, campaign), then call :meth:`run_with_fault`
+    per trial.  The store is bound to its machine: snapshots hold
+    references into the machine's compiled code, so a different machine
+    (even for the same program) needs its own store.
+    """
+
+    def __init__(self, machine: Machine, interval: int | None = None,
+                 fast_forward: bool = True) -> None:
+        self.machine = machine
+        self.interval = interval or 0
+        self.fast_forward = fast_forward
+        self.snapshots: list[MachineSnapshot] = []
+        self.golden: RunResult | None = None
+        #: Trials whose result was spliced from the golden suffix after
+        #: state re-convergence (perf counter, exposed by benches).
+        self.fast_forwards = 0
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> RunResult:
+        """Run the golden execution once, checkpointing as it goes.
+
+        Returns the golden :class:`RunResult` (this *is* the campaign's
+        golden run -- no extra reference execution is needed).  With
+        ``interval=None`` at construction, the spacing auto-tunes to the
+        golden length in the same single pass: checkpoints start
+        :data:`MIN_CHECKPOINT_INTERVAL` apart, and whenever the count
+        exceeds :data:`MAX_CHECKPOINTS` every other snapshot is dropped
+        and the interval doubles, converging on the coarsest spacing
+        that still keeps the store within the cap.
+        """
+        machine = self.machine
+        auto = not self.interval
+        if auto:
+            self.interval = MIN_CHECKPOINT_INTERVAL
+        machine.reset()
+        self.snapshots = [machine.snapshot()]
+        limit = self.interval
+        while True:
+            result = machine.run(limit)
+            if result.status is not RunStatus.PAUSED:
+                self.golden = result
+                return result
+            self.snapshots.append(machine.snapshot())
+            if auto and len(self.snapshots) > MAX_CHECKPOINTS:
+                # Thin to every other checkpoint; the kept snapshots sit
+                # at multiples of the doubled interval, preserving the
+                # ``snapshots[i].icount == i * interval`` invariant that
+                # trial lookup relies on.
+                self.snapshots = self.snapshots[::2]
+                self.interval *= 2
+            limit += self.interval
+
+    # ----------------------------------------------------------------- trials
+    def run_with_fault(self, site: FaultSite) -> RunResult:
+        """One SEU trial, replaying from the nearest checkpoint."""
+        if self.golden is None:
+            self.build()
+        machine = self.machine
+        target = site.dynamic_index
+        index = min(target // self.interval, len(self.snapshots) - 1)
+        machine.restore(self.snapshots[index])
+        first = machine.run(target)
+        if first.status is not RunStatus.PAUSED:
+            return first                      # fault never landed
+        machine.flip_register_bit(site.reg_index, site.bit)
+        if not self.fast_forward:
+            return machine.run(None)
+        # Resume in checkpoint-sized slices; at each golden checkpoint
+        # boundary, test whether the faulty state has re-converged.
+        next_index = target // self.interval + 1
+        while next_index < len(self.snapshots):
+            snap = self.snapshots[next_index]
+            result = machine.run(snap.icount)
+            if result.status is not RunStatus.PAUSED:
+                return result
+            if machine.state_matches(snap):
+                spliced = self._splice_golden(snap)
+                if spliced is not None:
+                    self.fast_forwards += 1
+                    return spliced
+            next_index += 1
+        return machine.run(None)
+
+    def _splice_golden(self, snap: MachineSnapshot) -> RunResult | None:
+        """Final result of a faulty run that re-converged at ``snap``.
+
+        From the convergence point on, execution is identical to the
+        golden run, so the terminal status, exit code and instruction
+        count are the golden run's, while the output and recovery
+        counters splice the faulty prefix onto the golden suffix.
+        Returns ``None`` when the recovery bookkeeping cannot be
+        reconstructed exactly (golden runs that themselves entered
+        repair blocks both before and after the checkpoint); the caller
+        then simply keeps executing.
+        """
+        machine = self.machine
+        golden = self.golden
+        suffix_recoveries = golden.recoveries - snap.recoveries
+        first_recovery = machine.first_recovery_icount
+        if first_recovery is None and suffix_recoveries:
+            if snap.recoveries:
+                # The golden suffix recovers but its first-recovery
+                # icount is hidden behind an earlier golden recovery.
+                return None
+            first_recovery = golden.first_recovery_icount
+        return RunResult(
+            golden.status,
+            exit_code=golden.exit_code,
+            trap_kind=golden.trap_kind,
+            trap_detail=golden.trap_detail,
+            output=machine.output + golden.output[len(snap.output):],
+            instructions=golden.instructions,
+            recoveries=machine.recoveries + suffix_recoveries,
+            first_recovery_icount=first_recovery,
+        )
+
+
+def build_checkpoints(machine: Machine, interval: int | None = None
+                      ) -> CheckpointStore:
+    """Build a ready-to-inject :class:`CheckpointStore` for ``machine``."""
+    store = CheckpointStore(machine, interval=interval)
+    result = store.build()
+    if result.status is not RunStatus.EXITED:
+        raise SimulationError(
+            f"golden run did not complete cleanly: {result.status}"
+        )
+    return store

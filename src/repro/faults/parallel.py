@@ -1,0 +1,203 @@
+"""Process-parallel fault-injection campaigns (``--jobs N``).
+
+Campaign-scale injection studies only reach statistical significance
+with thousands of trials, and trials are embarrassingly parallel: each
+one is a deterministic function of (binary, fault site).  The sharded
+runner here exploits that while keeping the campaign *bit-identical*
+to the serial path, trial for trial:
+
+* the parent samples **all** fault sites up front from the single
+  seeded RNG -- exactly the sequence the serial loop would draw -- so
+  parallelism never perturbs the fault distribution;
+* the site list is split into contiguous shards, one per worker, so
+  trial order (and therefore telemetry order) is preserved by simple
+  concatenation;
+* each worker compiles its own :class:`~repro.sim.machine.Machine`
+  from the pickled program and builds its own golden-run checkpoints
+  (compiled machines hold closures and cannot cross process
+  boundaries), then runs its shard through the same
+  :class:`~repro.faults.injector.CheckpointStore` path as the serial
+  campaign;
+* per-trial telemetry is streamed by each worker into a shard JSONL
+  file; the parent concatenates the shards in trial order into the
+  caller's :class:`~repro.obs.campaign_log.CampaignLog`;
+* shard aggregates are combined with
+  :meth:`CampaignResult.merged() <repro.faults.campaign.CampaignResult.merged>`,
+  whose golden-instruction fingerprint guards against workers having
+  somehow campaigned different binaries.
+
+``jobs=N`` therefore produces the same :class:`CampaignResult` counts
+and the same concatenated trial records as ``jobs=1``, which
+``tests/test_parallel.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import shutil
+import tempfile
+
+from ..errors import SimulationError
+from ..isa.program import Program
+from ..obs import spans
+from ..obs.campaign_log import CampaignLog, TrialRecord
+from ..obs.spans import span
+from ..sim.events import RunStatus
+from ..sim.machine import Machine
+from .campaign import CampaignResult, record_campaign_metrics, run_campaign
+from .injector import CheckpointStore, fault_landed, golden_run
+from .model import FaultSite, sample_fault_site
+from .outcomes import classify
+
+# Per-worker state, populated once by the pool initializer so shard
+# tasks reuse the compiled machine and its checkpoints.
+_WORKER: dict = {}
+
+
+def _init_worker(program: Program, max_instructions: int,
+                 checkpoint_interval: int | None) -> None:
+    """Compile this worker's machine and build its golden checkpoints."""
+    # Workers must not inherit an enabled span collector from a
+    # telemetry-on parent: their spans could never be drained.
+    spans.disable()
+    machine = Machine(program, max_instructions=max_instructions)
+    store = CheckpointStore(machine, interval=checkpoint_interval)
+    golden = store.build()
+    if golden.status is not RunStatus.EXITED:
+        raise SimulationError(
+            f"worker golden run did not complete cleanly: {golden.status}"
+        )
+    _WORKER["store"] = store
+    _WORKER["golden"] = golden
+
+
+def _run_shard(task: tuple[int, list[FaultSite], str | None]
+               ) -> CampaignResult:
+    """Run one contiguous shard of trials in a worker process.
+
+    ``task`` is ``(first_trial_index, sites, record_path)``; with a
+    ``record_path`` the worker streams one JSON line per trial into it
+    (flat :class:`TrialRecord` dicts, no context -- the parent owns the
+    campaign context).
+    """
+    first_trial, sites, record_path = task
+    store: CheckpointStore = _WORKER["store"]
+    golden = _WORKER["golden"]
+    result = CampaignResult(golden_instructions=golden.instructions)
+    log = CampaignLog() if record_path is not None else None
+    for offset, site in enumerate(sites):
+        faulty = store.run_with_fault(site)
+        outcome = classify(golden, faulty)
+        result.record(outcome, recovered=faulty.recoveries > 0,
+                      landed=fault_landed(site, faulty))
+        if log is not None:
+            log.record_trial(first_trial + offset, site, outcome, faulty)
+    if log is not None:
+        with open(record_path, "w") as handle:
+            for record in log.to_dicts():
+                handle.write(json.dumps(record, separators=(",", ":")))
+                handle.write("\n")
+    return result
+
+
+def _partition(sites: list[FaultSite], shards: int
+               ) -> list[tuple[int, list[FaultSite]]]:
+    """Split into ``shards`` contiguous (first_trial, sites) chunks."""
+    base, extra = divmod(len(sites), shards)
+    chunks = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        if hi > lo:
+            chunks.append((lo, sites[lo:hi]))
+        lo = hi
+    return chunks
+
+
+def _pool_context():
+    """Prefer fork (no program pickling, cheap start) where available."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for ``--jobs 0`` (= all cores)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def run_parallel_campaign(
+    program: Program,
+    trials: int = 250,
+    seed: int = 0,
+    jobs: int = 1,
+    max_instructions: int = 10_000_000,
+    machine: Machine | None = None,
+    log: CampaignLog | None = None,
+    checkpoint_interval: int | None = None,
+) -> CampaignResult:
+    """Run an SEU campaign sharded over ``jobs`` worker processes.
+
+    Bit-identical to :func:`~repro.faults.campaign.run_campaign` with
+    the same ``(program, seed, trials)``: the parent pre-samples every
+    fault site from the single seeded RNG and workers only execute.
+    ``jobs=0`` means one worker per CPU; ``jobs=1`` (or fewer trials
+    than would keep two workers busy) falls through to the serial
+    runner.  The ``machine`` parameter only spares the parent a
+    recompile for its golden run -- workers always compile their own.
+    """
+    if jobs == 0:
+        jobs = default_jobs()
+    if jobs <= 1 or trials <= 1:
+        return run_campaign(program, trials=trials, seed=seed,
+                            max_instructions=max_instructions,
+                            machine=machine, log=log,
+                            checkpoint_interval=checkpoint_interval)
+    machine = machine or Machine(program, max_instructions=max_instructions)
+    golden = golden_run(machine)
+    if golden.status is not RunStatus.EXITED:
+        raise SimulationError(
+            f"golden run did not complete cleanly: {golden.status}"
+        )
+    rng = random.Random(seed)
+    sites = [sample_fault_site(rng, golden.instructions)
+             for _ in range(trials)]
+    jobs = min(jobs, len(sites))
+    chunks = _partition(sites, jobs)
+
+    shard_dir = None
+    record_paths: list[str | None] = [None] * len(chunks)
+    if log is not None:
+        shard_dir = tempfile.mkdtemp(prefix="repro-campaign-")
+        record_paths = [os.path.join(shard_dir, f"shard-{i:04d}.jsonl")
+                        for i in range(len(chunks))]
+    log_start = len(log.records) if log is not None else 0
+    result = CampaignResult(golden_instructions=golden.instructions)
+    try:
+        with span("campaign.parallel", trials=trials, seed=seed, jobs=jobs):
+            context = _pool_context()
+            with context.Pool(
+                processes=jobs,
+                initializer=_init_worker,
+                initargs=(program, max_instructions, checkpoint_interval),
+            ) as pool:
+                tasks = [(lo, shard, path) for (lo, shard), path
+                         in zip(chunks, record_paths)]
+                for shard_result in pool.map(_run_shard, tasks):
+                    result = result.merged(shard_result)
+        if log is not None:
+            for path in record_paths:
+                with open(path) as handle:
+                    for line in handle:
+                        log.records.append(
+                            TrialRecord.from_dict(json.loads(line))
+                        )
+    finally:
+        if shard_dir is not None:
+            shutil.rmtree(shard_dir, ignore_errors=True)
+    record_campaign_metrics(result, log, log_start)
+    return result

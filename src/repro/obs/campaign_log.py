@@ -61,6 +61,7 @@ class TrialRecord:
     recoveries: int                # how many times repair code fired
     detection_latency: int | None  # dynamic instrs injection -> check
     instructions: int              # dynamic length of the faulty run
+    fault_landed: bool = True      # False: run ended before the flip
 
     def to_dict(self, context: dict | None = None) -> dict:
         record = {"kind": "trial"}
@@ -77,8 +78,17 @@ class TrialRecord:
             recoveries=self.recoveries,
             detection_latency=self.detection_latency,
             instructions=self.instructions,
+            fault_landed=self.fault_landed,
         )
         return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TrialRecord":
+        """Rebuild a record exported by :meth:`to_dict` (drops context)."""
+        from dataclasses import fields
+
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in names})
 
 
 class CampaignLog:
@@ -106,6 +116,10 @@ class CampaignLog:
             recoveries=faulty.recoveries,
             detection_latency=detection_latency(site, faulty),
             instructions=faulty.instructions,
+            # A landed fault always retires past the injection point
+            # (same discriminant as repro.faults.injector.fault_landed,
+            # restated here to keep obs free of a faults import).
+            fault_landed=faulty.instructions > site.dynamic_index,
         ))
 
     def __len__(self) -> int:

@@ -1,7 +1,7 @@
 """Architectural simulator: functional interpreter plus timing model."""
 
 from .events import GuestTrap, RunResult, RunStatus, TrapKind
-from .machine import Machine, run_program
+from .machine import Machine, MachineSnapshot, run_program
 from .memory import Memory, bits_to_float, float_to_bits
 from .timing import TimingConfig, TimingResult, TimingSimulator, measure_cycles
 from .trace import TraceEntry, format_trace, trace_execution
@@ -9,6 +9,7 @@ from .trace import TraceEntry, format_trace, trace_execution
 __all__ = [
     "GuestTrap",
     "Machine",
+    "MachineSnapshot",
     "Memory",
     "RunResult",
     "RunStatus",

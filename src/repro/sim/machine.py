@@ -27,6 +27,8 @@ Closure protocol: each step returns
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..errors import SimulationError
 from ..isa.instruction import Instruction, Role
 from ..isa.opcodes import Opcode, OpKind
@@ -79,6 +81,30 @@ class CompiledFunction:
         self.blocks = blocks
         self.block_index = {blk.name: i for i, blk in enumerate(blocks)}
         self.num_params = num_params
+
+
+@dataclass
+class MachineSnapshot:
+    """Full architectural state of a paused (or freshly reset) machine.
+
+    Snapshots are tied to the :class:`Machine` that produced them: the
+    resume position and call stack reference its compiled functions, so
+    restoring into a different machine -- even one compiled from the
+    same program -- is undefined.  Campaign workers therefore build
+    their own checkpoints (see :mod:`repro.faults.parallel`).
+    """
+
+    icount: int
+    regs: list[int]
+    fregs: list[float]
+    cells: dict[int, int | float]
+    output: list
+    recoveries: int
+    first_recovery_icount: int | None
+    exit_code: int
+    arg_stack: list[list]
+    call_stack: list[tuple]
+    position: tuple | None
 
 
 class Machine:
@@ -294,6 +320,71 @@ class Machine:
 
     def run_to_completion(self) -> RunResult:
         return self.run(None)
+
+    # ----------------------------------------------------- checkpoint/restore
+    def snapshot(self) -> MachineSnapshot:
+        """Capture the complete architectural state at a pause boundary.
+
+        Restoring the snapshot later (:meth:`restore`) and running
+        forward is bit-identical to having replayed from instruction 0,
+        which is what lets fault-injection campaigns replay from the
+        nearest checkpoint instead of from the start.  ``ret_value``
+        and the ``pending_*`` call-transfer fields are deliberately not
+        captured: both are produced and consumed within a single run-loop
+        iteration, so they are always dead at a pause boundary.
+        """
+        if self._finished is not None:
+            raise SimulationError("cannot snapshot a finished run")
+        return MachineSnapshot(
+            icount=self.icount,
+            regs=list(self.regs),
+            fregs=list(self.fregs),
+            cells=dict(self.memory.cells),
+            output=list(self.output),
+            recoveries=self.recoveries,
+            first_recovery_icount=self.first_recovery_icount,
+            exit_code=self.exit_code,
+            # Inner argument lists are immutable once pushed (PARAM only
+            # reads them), so a shallow copy of the stack suffices.
+            arg_stack=list(self.arg_stack),
+            call_stack=list(self.call_stack),
+            position=self._position,
+        )
+
+    def restore(self, snap: MachineSnapshot) -> None:
+        """Rewind the machine to a snapshot (the snapshot stays reusable)."""
+        self.regs = list(snap.regs)
+        self.fregs = list(snap.fregs)
+        self.memory.cells = dict(snap.cells)
+        self.output = list(snap.output)
+        self.icount = snap.icount
+        self.recoveries = snap.recoveries
+        self.first_recovery_icount = snap.first_recovery_icount
+        self.exit_code = snap.exit_code
+        self.arg_stack = list(snap.arg_stack)
+        self.call_stack = list(snap.call_stack)
+        self.ret_value = None
+        self._position = snap.position
+        self._finished = None
+
+    def state_matches(self, snap: MachineSnapshot) -> bool:
+        """Does future execution from here equal execution from ``snap``?
+
+        Compares exactly the state that determines the remainder of the
+        run: resume position, register files, call/argument stacks, and
+        memory.  Counters (icount, recoveries) and already-produced
+        output are excluded -- they record the past, not the future.
+        The caller is responsible for comparing at matching icounts.
+        Cheap fields are compared first so diverged states bail early.
+        """
+        return (
+            self._position == snap.position
+            and self.regs == snap.regs
+            and self.call_stack == snap.call_stack
+            and self.arg_stack == snap.arg_stack
+            and self.fregs == snap.fregs
+            and self.memory.cells == snap.cells
+        )
 
     # ----------------------------------------------------------- fault support
     def flip_register_bit(self, reg_index: int, bit: int) -> None:

@@ -108,5 +108,9 @@ class Memory:
     def snapshot(self) -> dict[int, int | float]:
         return dict(self.cells)
 
+    def restore(self, cells: dict[int, int | float]) -> None:
+        """Replace the contents with a copy of a prior :meth:`snapshot`."""
+        self.cells = dict(cells)
+
     def words_used(self) -> int:
         return len(self.cells)

@@ -160,6 +160,30 @@ def test_run_sites_explicit(simple_program):
     assert all(isinstance(o, Outcome) for o in outcomes)
 
 
+def test_run_sites_reuses_machine(simple_program):
+    sites = sample_sites(5, 40, 10)
+    machine = Machine(simple_program)
+    outcomes = run_sites(simple_program, sites, machine=machine)
+    assert outcomes == run_sites(simple_program, sites)
+
+
+def test_run_sites_rejects_failing_golden_run():
+    from repro.errors import SimulationError
+    from repro.isa import Function, IRBuilder, Program
+
+    program = Program()
+    fn = Function("main")
+    program.add_function(fn)
+    b = IRBuilder(fn)
+    b.start_block("entry")
+    addr = b.li(12345)              # unmapped address: golden run traps
+    b.load(addr)
+    b.ret()
+    sites = sample_sites(5, 40, 3)
+    with pytest.raises(SimulationError):
+        run_sites(program, sites)
+
+
 # ------------------------------------------------------------------- stats
 def test_proportion_basicss():
     p = Proportion(25, 100)

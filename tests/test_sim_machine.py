@@ -212,6 +212,59 @@ def test_pause_at_every_boundary_gives_same_result(simple_program,
         assert final.output == simple_golden.output
 
 
+def test_snapshot_restore_roundtrip(simple_program, simple_golden):
+    machine = Machine(simple_program)
+    machine.reset()
+    machine.run(12)
+    snap = machine.snapshot()
+    first = machine.run(None)
+    assert first.output == simple_golden.output
+    machine.restore(snap)
+    assert machine.icount == 12
+    second = machine.run(None)
+    assert second.output == first.output
+    assert second.instructions == first.instructions
+    assert second.status is first.status
+
+
+def test_restore_undoes_corruption(simple_program, simple_golden):
+    machine = Machine(simple_program)
+    machine.reset()
+    machine.run(10)
+    snap = machine.snapshot()
+    # Wreck the paused state, then restore: the snapshot must win.
+    machine.flip_register_bit(5, 40)
+    machine.memory.cells.clear()
+    machine.output.append(999)
+    machine.restore(snap)
+    final = machine.run(None)
+    assert final.output == simple_golden.output
+    assert final.instructions == simple_golden.instructions
+
+
+def test_snapshot_of_finished_run_rejected(simple_program):
+    from repro.errors import SimulationError
+
+    machine = Machine(simple_program)
+    machine.run(None)
+    with pytest.raises(SimulationError):
+        machine.snapshot()
+
+
+def test_state_matches_detects_divergence(simple_program):
+    machine = Machine(simple_program)
+    machine.reset()
+    machine.run(10)
+    snap = machine.snapshot()
+    assert machine.state_matches(snap)
+    machine.flip_register_bit(6, 3)
+    assert not machine.state_matches(snap)
+    machine.flip_register_bit(6, 3)
+    assert machine.state_matches(snap)
+    machine.memory.cells[machine.memory.global_lo] = 0xBAD
+    assert not machine.state_matches(snap)
+
+
 def test_flip_register_bit():
     program = parse_program("""
 func main(0):
