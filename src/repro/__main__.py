@@ -9,12 +9,15 @@ Subcommands:
 * ``workloads``                  list the benchmark suite
 * ``fig8`` / ``fig9``            regenerate the paper's figures
 * ``obs summarize PATH``         render a JSONL telemetry file
+* ``obs forensics PATH``         per-trial fault-mechanism report
+* ``obs export-trace PATH``      convert telemetry to a Chrome trace
 
 ``campaign``, ``fig8``, and ``fig9`` accept ``--telemetry PATH`` to
 export spans, metrics, and per-trial records as JSONL (see
 ``docs/observability.md``).  ``campaign`` and ``fig8`` accept
 ``--jobs N`` to shard trials over worker processes with bit-identical
-results (see ``docs/performance.md``).
+results (see ``docs/performance.md``) and ``--taint`` to trace each
+fault's dataflow for escape forensics.
 """
 
 from __future__ import annotations
@@ -74,14 +77,16 @@ def _cmd_campaign(args) -> int:
 
     sink = open_sink(args.telemetry)
     log = None
-    if sink is not None:
+    if sink is not None or args.taint:
+        # Taint tracing needs a log to collect event streams even when
+        # nothing is exported: forensics renders from the log directly.
         log = CampaignLog(context={"source": args.file,
                                    "technique": args.technique.value,
                                    "seed": args.seed})
     binary = _load_binary(args.file, args.technique)
     campaign = run_parallel_campaign(binary, trials=args.trials,
                                      seed=args.seed, jobs=args.jobs,
-                                     log=log)
+                                     log=log, taint=args.taint)
     print(f"technique : {args.technique.label}")
     print(f"trials    : {campaign.trials}")
     print(f"unACE     : {campaign.unace_percent:6.2f}%")
@@ -92,12 +97,18 @@ def _cmd_campaign(args) -> int:
     print(f"repairs   : fired in {campaign.recoveries} runs")
     if sink is not None:
         sink.write_many(log.to_dicts())
+        sink.write_many(log.taint_dicts())
         latencies = log.latencies()
         if latencies:
             mean = sum(latencies) / len(latencies)
             print(f"latency   : mean {mean:.1f} dynamic instructions to "
                   f"detection ({len(latencies)} detected trials)")
         export_session(sink)
+    if args.taint:
+        from .obs import analyze_log, render_report
+
+        print()
+        print(render_report(analyze_log(log)))
     return 0
 
 
@@ -105,6 +116,22 @@ def _cmd_obs_summarize(args) -> int:
     from .obs.sink import summarize_path
 
     print(summarize_path(args.path))
+    return 0
+
+
+def _cmd_obs_forensics(args) -> int:
+    from .obs.forensics import forensics_path
+
+    print(forensics_path(args.path))
+    return 0
+
+
+def _cmd_obs_export_trace(args) -> int:
+    from .obs.trace_export import export_trace_path
+
+    out = args.output or args.path + ".trace.json"
+    count = export_trace_path(args.path, out)
+    print(f"wrote {count} trace events to {out}")
     return 0
 
 
@@ -135,6 +162,8 @@ def _cmd_fig8(args) -> int:
         argv += ["--benchmarks", args.benchmarks]
     if args.telemetry:
         argv += ["--telemetry", args.telemetry]
+    if args.taint:
+        argv += ["--taint"]
     return reliability.main(argv)
 
 
@@ -180,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "results are identical for any value")
     p_campaign.add_argument("--telemetry", default="",
                             help="write per-trial JSONL telemetry here")
+    p_campaign.add_argument("--taint", action="store_true",
+                            help="trace each fault's dataflow and print "
+                                 "the per-mechanism forensics report")
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_profile = sub.add_parser("profile",
@@ -200,6 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig8.add_argument("--benchmarks", default="")
     p_fig8.add_argument("--telemetry", default="",
                         help="write per-trial JSONL telemetry here")
+    p_fig8.add_argument("--taint", action="store_true",
+                        help="trace fault dataflow into the telemetry file")
     p_fig8.set_defaults(func=_cmd_fig8)
 
     p_fig9 = sub.add_parser("fig9", help="reproduce Figure 9 (performance)")
@@ -214,6 +248,18 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="render a JSONL telemetry file as tables")
     p_summarize.add_argument("path")
     p_summarize.set_defaults(func=_cmd_obs_summarize)
+    p_forensics = obs_sub.add_parser(
+        "forensics",
+        help="classify every trial's fault mechanism from taint streams")
+    p_forensics.add_argument("path")
+    p_forensics.set_defaults(func=_cmd_obs_forensics)
+    p_trace = obs_sub.add_parser(
+        "export-trace",
+        help="convert a telemetry file to Chrome trace_event JSON")
+    p_trace.add_argument("path")
+    p_trace.add_argument("-o", "--output", default="",
+                         help="output path (default: PATH.trace.json)")
+    p_trace.set_defaults(func=_cmd_obs_export_trace)
 
     return parser
 

@@ -77,6 +77,7 @@ def evaluate_reliability(
     progress: bool = False,
     telemetry: JsonlSink | None = None,
     jobs: int = 1,
+    taint: bool = False,
 ) -> ReliabilityResults:
     """Run the full Figure-8 campaign grid.
 
@@ -85,6 +86,9 @@ def evaluate_reliability(
     cell, ready for ``python -m repro obs summarize``.  With
     ``jobs > 1`` (or 0 = all cores) each cell's trials are sharded
     over worker processes; results are bit-identical either way.
+    ``taint=True`` additionally traces every fault's dataflow and
+    exports the per-trial event streams alongside the trial records,
+    so ``python -m repro obs forensics`` can attribute each cell.
     """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
@@ -95,7 +99,7 @@ def evaluate_reliability(
     for bench in benchmarks:
         for tech in techniques:
             log = None
-            if telemetry is not None:
+            if telemetry is not None or taint:
                 log = CampaignLog(context={"benchmark": bench,
                                            "technique": tech.value,
                                            "seed": seed})
@@ -105,15 +109,16 @@ def evaluate_reliability(
                 if jobs == 1:
                     campaign = run_campaign(machine.program, trials=trials,
                                             seed=seed, machine=machine,
-                                            log=log)
+                                            log=log, taint=taint)
                 else:
                     campaign = run_parallel_campaign(
                         machine.program, trials=trials, seed=seed,
-                        jobs=jobs, machine=machine, log=log,
+                        jobs=jobs, machine=machine, log=log, taint=taint,
                     )
             results.cells[(bench, tech)] = campaign
             if telemetry is not None:
                 telemetry.write_many(log.to_dicts())
+                telemetry.write_many(log.taint_dicts())
             if progress:
                 print(
                     f"  {bench:10s} {tech.label:14s} "
@@ -176,6 +181,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(0 = all cores); results are identical")
     parser.add_argument("--telemetry", type=str, default="",
                         help="write per-trial JSONL telemetry to this path")
+    parser.add_argument("--taint", action="store_true",
+                        help="trace fault dataflow into the telemetry file "
+                             "(for `obs forensics`)")
     args = parser.parse_args(argv)
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(PAPER_BENCHMARKS))
@@ -183,7 +191,7 @@ def main(argv: list[str] | None = None) -> int:
     results = evaluate_reliability(benchmarks=benchmarks,
                                    trials=args.trials, seed=args.seed,
                                    progress=True, telemetry=sink,
-                                   jobs=args.jobs)
+                                   jobs=args.jobs, taint=args.taint)
     export_session(sink)
     print(render_figure8(results))
     return 0

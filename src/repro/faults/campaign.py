@@ -17,6 +17,7 @@ from ..obs.metrics import registry as obs_registry
 from ..obs.spans import enabled as obs_enabled, span
 from ..sim.events import RunStatus
 from ..sim.machine import Machine
+from ..sim.taint import TaintTracker
 from .injector import (
     CheckpointStore,
     fault_landed,
@@ -135,6 +136,7 @@ def run_campaign(
     machine: Machine | None = None,
     log: CampaignLog | None = None,
     checkpoint_interval: int | None = None,
+    taint: bool = False,
 ) -> CampaignResult:
     """Run a full SEU campaign against ``program``.
 
@@ -151,13 +153,24 @@ def run_campaign(
     ``checkpoint_interval=0`` to force the original full-replay path,
     or a positive value to fix the spacing instead of auto-tuning it.
     Both paths give bit-identical results.
+
+    ``taint=True`` additionally traces each injected fault's dataflow
+    (see :mod:`repro.sim.taint`) and appends the per-trial event
+    streams to ``log.taint_records``; it requires a ``log`` and does
+    not change trial outcomes, only observes them.
     """
+    if taint and log is None:
+        raise ValueError("taint tracing requires a CampaignLog "
+                         "to receive the event streams")
     machine = machine or Machine(program, max_instructions=max_instructions)
     if checkpoint_interval == 0:
         # Full replay-from-zero per trial: the original, slow path,
         # kept for benchmarking and as the equivalence reference.
         golden = golden_run(machine)
-        run_trial = lambda site: run_with_fault(machine, site)  # noqa: E731
+        run_trial = (  # noqa: E731
+            lambda site, taint=None: run_with_fault(machine, site,
+                                                    taint=taint)
+        )
     else:
         store = CheckpointStore(machine, interval=checkpoint_interval)
         golden = store.build()      # this *is* the golden run
@@ -180,11 +193,14 @@ def run_campaign(
         else:
             for trial in range(trials):
                 site = sample_fault_site(rng, golden.instructions)
-                faulty = run_trial(site)
+                tracker = TaintTracker() if taint else None
+                faulty = run_trial(site, taint=tracker)
                 outcome = classify(golden, faulty)
                 result.record(outcome, recovered=faulty.recoveries > 0,
                               landed=fault_landed(site, faulty))
                 log.record_trial(trial, site, outcome, faulty)
+                if tracker is not None:
+                    log.record_taint(trial, tracker)
     record_campaign_metrics(result, log, log_start)
     return result
 

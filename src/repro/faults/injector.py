@@ -45,8 +45,16 @@ MAX_CHECKPOINTS = 64
 MIN_CHECKPOINT_INTERVAL = 512
 
 
-def run_with_fault(machine: Machine, site: FaultSite) -> RunResult:
-    """Execute one full run with the given SEU injected."""
+def run_with_fault(machine: Machine, site: FaultSite,
+                   taint=None) -> RunResult:
+    """Execute one full run with the given SEU injected.
+
+    ``taint`` optionally names a :class:`~repro.sim.taint.TaintTracker`
+    to attach for the post-flip portion of the run.  The pre-fault
+    replay always executes on the untraced fast path; the tracker is
+    attached only for the flip and the faulty suffix, and detached
+    before returning so the machine comes back taint-free.
+    """
     machine.reset()
     first = machine.run(site.dynamic_index)
     if first.status is not RunStatus.PAUSED:
@@ -54,8 +62,12 @@ def run_with_fault(machine: Machine, site: FaultSite) -> RunResult:
         # only if the site was sampled against a longer golden run, or
         # under a shrunken max_instructions); the fault never landed.
         return first
-    machine.flip_register_bit(site.reg_index, site.bit)
-    return machine.run(None)
+    machine.taint = taint
+    try:
+        machine.flip_register_bit(site.reg_index, site.bit)
+        return machine.run(None)
+    finally:
+        machine.taint = None
 
 
 def golden_run(machine: Machine) -> RunResult:
@@ -131,8 +143,16 @@ class CheckpointStore:
             limit += self.interval
 
     # ----------------------------------------------------------------- trials
-    def run_with_fault(self, site: FaultSite) -> RunResult:
-        """One SEU trial, replaying from the nearest checkpoint."""
+    def run_with_fault(self, site: FaultSite, taint=None) -> RunResult:
+        """One SEU trial, replaying from the nearest checkpoint.
+
+        With a :class:`~repro.sim.taint.TaintTracker` in ``taint``, the
+        tracker observes the faulty suffix exactly as in the serial
+        injector; when the run fast-forwards through a convergence
+        splice the tracker is told (:meth:`on_converged`) so forensics
+        knows the remaining taint was provably extinct, not merely
+        unobserved.
+        """
         if self.golden is None:
             self.build()
         machine = self.machine
@@ -142,24 +162,30 @@ class CheckpointStore:
         first = machine.run(target)
         if first.status is not RunStatus.PAUSED:
             return first                      # fault never landed
-        machine.flip_register_bit(site.reg_index, site.bit)
-        if not self.fast_forward:
+        machine.taint = taint
+        try:
+            machine.flip_register_bit(site.reg_index, site.bit)
+            if not self.fast_forward:
+                return machine.run(None)
+            # Resume in checkpoint-sized slices; at each golden checkpoint
+            # boundary, test whether the faulty state has re-converged.
+            next_index = target // self.interval + 1
+            while next_index < len(self.snapshots):
+                snap = self.snapshots[next_index]
+                result = machine.run(snap.icount)
+                if result.status is not RunStatus.PAUSED:
+                    return result
+                if machine.state_matches(snap):
+                    spliced = self._splice_golden(snap)
+                    if spliced is not None:
+                        self.fast_forwards += 1
+                        if taint is not None:
+                            taint.on_converged(snap.icount)
+                        return spliced
+                next_index += 1
             return machine.run(None)
-        # Resume in checkpoint-sized slices; at each golden checkpoint
-        # boundary, test whether the faulty state has re-converged.
-        next_index = target // self.interval + 1
-        while next_index < len(self.snapshots):
-            snap = self.snapshots[next_index]
-            result = machine.run(snap.icount)
-            if result.status is not RunStatus.PAUSED:
-                return result
-            if machine.state_matches(snap):
-                spliced = self._splice_golden(snap)
-                if spliced is not None:
-                    self.fast_forwards += 1
-                    return spliced
-            next_index += 1
-        return machine.run(None)
+        finally:
+            machine.taint = None
 
     def _splice_golden(self, snap: MachineSnapshot) -> RunResult | None:
         """Final result of a faulty run that re-converged at ``snap``.

@@ -47,6 +47,7 @@ from ..obs.campaign_log import CampaignLog, TrialRecord
 from ..obs.spans import span
 from ..sim.events import RunStatus
 from ..sim.machine import Machine
+from ..sim.taint import TaintTracker
 from .campaign import CampaignResult, record_campaign_metrics, run_campaign
 from .injector import CheckpointStore, fault_landed, golden_run
 from .model import FaultSite, sample_fault_site
@@ -58,7 +59,8 @@ _WORKER: dict = {}
 
 
 def _init_worker(program: Program, max_instructions: int,
-                 checkpoint_interval: int | None) -> None:
+                 checkpoint_interval: int | None,
+                 taint: bool = False) -> None:
     """Compile this worker's machine and build its golden checkpoints."""
     # Workers must not inherit an enabled span collector from a
     # telemetry-on parent: their spans could never be drained.
@@ -72,6 +74,7 @@ def _init_worker(program: Program, max_instructions: int,
         )
     _WORKER["store"] = store
     _WORKER["golden"] = golden
+    _WORKER["taint"] = taint
 
 
 def _run_shard(task: tuple[int, list[FaultSite], str | None]
@@ -81,23 +84,32 @@ def _run_shard(task: tuple[int, list[FaultSite], str | None]
     ``task`` is ``(first_trial_index, sites, record_path)``; with a
     ``record_path`` the worker streams one JSON line per trial into it
     (flat :class:`TrialRecord` dicts, no context -- the parent owns the
-    campaign context).
+    campaign context).  With taint tracing on, the shard's taint
+    records follow its trial records in the same file, each stream in
+    trial order, distinguishable by their ``kind`` field.
     """
     first_trial, sites, record_path = task
     store: CheckpointStore = _WORKER["store"]
     golden = _WORKER["golden"]
+    taint = _WORKER.get("taint", False) and record_path is not None
     result = CampaignResult(golden_instructions=golden.instructions)
     log = CampaignLog() if record_path is not None else None
     for offset, site in enumerate(sites):
-        faulty = store.run_with_fault(site)
+        tracker = TaintTracker() if taint else None
+        faulty = store.run_with_fault(site, taint=tracker)
         outcome = classify(golden, faulty)
         result.record(outcome, recovered=faulty.recoveries > 0,
                       landed=fault_landed(site, faulty))
         if log is not None:
             log.record_trial(first_trial + offset, site, outcome, faulty)
+            if tracker is not None:
+                log.record_taint(first_trial + offset, tracker)
     if log is not None:
         with open(record_path, "w") as handle:
             for record in log.to_dicts():
+                handle.write(json.dumps(record, separators=(",", ":")))
+                handle.write("\n")
+            for record in log.taint_dicts():
                 handle.write(json.dumps(record, separators=(",", ":")))
                 handle.write("\n")
     return result
@@ -139,6 +151,7 @@ def run_parallel_campaign(
     machine: Machine | None = None,
     log: CampaignLog | None = None,
     checkpoint_interval: int | None = None,
+    taint: bool = False,
 ) -> CampaignResult:
     """Run an SEU campaign sharded over ``jobs`` worker processes.
 
@@ -149,14 +162,23 @@ def run_parallel_campaign(
     than would keep two workers busy) falls through to the serial
     runner.  The ``machine`` parameter only spares the parent a
     recompile for its golden run -- workers always compile their own.
+
+    ``taint=True`` traces each fault's dataflow exactly as the serial
+    runner does; shard merge keeps both the trial records and the taint
+    streams in trial order, so the concatenated ``log`` matches
+    ``jobs=1`` record for record.
     """
+    if taint and log is None:
+        raise ValueError("taint tracing requires a CampaignLog "
+                         "to receive the event streams")
     if jobs == 0:
         jobs = default_jobs()
     if jobs <= 1 or trials <= 1:
         return run_campaign(program, trials=trials, seed=seed,
                             max_instructions=max_instructions,
                             machine=machine, log=log,
-                            checkpoint_interval=checkpoint_interval)
+                            checkpoint_interval=checkpoint_interval,
+                            taint=taint)
     machine = machine or Machine(program, max_instructions=max_instructions)
     golden = golden_run(machine)
     if golden.status is not RunStatus.EXITED:
@@ -183,19 +205,26 @@ def run_parallel_campaign(
             with context.Pool(
                 processes=jobs,
                 initializer=_init_worker,
-                initargs=(program, max_instructions, checkpoint_interval),
+                initargs=(program, max_instructions, checkpoint_interval,
+                          taint),
             ) as pool:
                 tasks = [(lo, shard, path) for (lo, shard), path
                          in zip(chunks, record_paths)]
                 for shard_result in pool.map(_run_shard, tasks):
                     result = result.merged(shard_result)
         if log is not None:
+            # Shards are read in trial order; within each file the trial
+            # records precede the taint records, so appending by kind
+            # keeps both streams ordered exactly as the serial runner
+            # would have produced them.
             for path in record_paths:
                 with open(path) as handle:
                     for line in handle:
-                        log.records.append(
-                            TrialRecord.from_dict(json.loads(line))
-                        )
+                        record = json.loads(line)
+                        if record.get("kind") == "trial":
+                            log.records.append(TrialRecord.from_dict(record))
+                        else:
+                            log.taint_records.append(record)
     finally:
         if shard_dir is not None:
             shutil.rmtree(shard_dir, ignore_errors=True)

@@ -9,7 +9,11 @@ The measurement substrate for everything quantitative in this repo:
 * :mod:`repro.obs.campaign_log` -- one structured record per
   fault-injection trial, including detection latency;
 * :mod:`repro.obs.sink` -- JSONL export and the summary renderer
-  behind ``python -m repro obs summarize``.
+  behind ``python -m repro obs summarize``;
+* :mod:`repro.obs.forensics` -- per-trial fault-mechanism
+  classification over taint streams (``obs forensics``);
+* :mod:`repro.obs.trace_export` -- Chrome ``trace_event`` JSON export
+  (``obs export-trace``).
 
 Telemetry is **off by default**; ``enable()`` switches on span and
 metric collection process-wide.  Campaign logs are explicit (pass a
@@ -23,6 +27,15 @@ from .campaign_log import (
     detection_icount,
     detection_latency,
 )
+from .forensics import (
+    MECHANISMS,
+    ForensicsReport,
+    analyze_log,
+    analyze_records,
+    classify_trial,
+    forensics_path,
+    render_report,
+)
 from .metrics import (
     Counter,
     DEFAULT_LATENCY_BUCKETS,
@@ -33,26 +46,37 @@ from .metrics import (
 )
 from .sink import JsonlSink, read_jsonl, summarize_path, summarize_records
 from .spans import Span, SpanCollector, collector, disable, enable, enabled, span
+from .trace_export import chrome_trace, export_trace, export_trace_path
 
 __all__ = [
     "CampaignLog",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "ForensicsReport",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "MECHANISMS",
     "MetricsRegistry",
     "Span",
     "SpanCollector",
     "TrialRecord",
+    "analyze_log",
+    "analyze_records",
+    "chrome_trace",
+    "classify_trial",
     "collector",
     "detection_icount",
     "detection_latency",
     "disable",
     "enable",
     "enabled",
+    "export_trace",
+    "export_trace_path",
+    "forensics_path",
     "read_jsonl",
     "registry",
+    "render_report",
     "span",
     "summarize_path",
     "summarize_records",

@@ -102,6 +102,11 @@ class CampaignLog:
     def __init__(self, context: dict | None = None) -> None:
         self.context = dict(context or {})
         self.records: list[TrialRecord] = []
+        #: Raw taint-event and taint-summary dicts, in trial order, as
+        #: exported by :meth:`repro.sim.taint.TaintTracker.export`.
+        #: Kept separate from ``records`` so consumers that only care
+        #: about outcomes never pay for event streams.
+        self.taint_records: list[dict] = []
 
     def record_trial(self, trial: int, site: "FaultSite",
                      outcome: "Outcome", faulty: RunResult) -> None:
@@ -122,11 +127,28 @@ class CampaignLog:
             fault_landed=faulty.instructions > site.dynamic_index,
         ))
 
+    def record_taint(self, trial: int, tracker) -> None:
+        """Capture one trial's taint stream (a
+        :class:`~repro.sim.taint.TaintTracker` after its run)."""
+        self.taint_records.extend(tracker.export(trial))
+
     def __len__(self) -> int:
         return len(self.records)
 
     def to_dicts(self) -> list[dict]:
         return [record.to_dict(self.context) for record in self.records]
+
+    def taint_dicts(self) -> list[dict]:
+        """Taint records with the campaign context merged in."""
+        if not self.context:
+            return list(self.taint_records)
+        merged = []
+        for record in self.taint_records:
+            out = {"kind": record.get("kind", "taint")}
+            out.update(self.context)
+            out.update(record)
+            merged.append(out)
+        return merged
 
     def outcome_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}

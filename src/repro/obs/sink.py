@@ -11,6 +11,7 @@ field-by-field schema.
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import Iterable
 
@@ -18,29 +19,61 @@ from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram
 
 
 class JsonlSink:
-    """Append telemetry records to a JSONL file (opened lazily)."""
+    """Append telemetry records to a JSONL file (opened lazily).
 
-    def __init__(self, path: str) -> None:
+    Writes are buffered (``buffer_size`` records per flush) so that
+    event-heavy producers like taint tracing do not pay one filesystem
+    call per record.  The buffer is flushed on :meth:`flush`,
+    :meth:`close`, and on ``with``-block exit **including when an
+    exception is unwinding** -- a crashed campaign still leaves every
+    record it produced on disk.
+
+    Paths ending in ``.gz`` are written gzip-compressed (and read back
+    transparently by :func:`read_jsonl`), keeping multi-million-event
+    taint streams manageable.
+    """
+
+    def __init__(self, path: str, buffer_size: int = 256) -> None:
         self.path = path
+        self.buffer_size = max(buffer_size, 1)
         self._handle = None
+        self._buffer: list[str] = []
         self.written = 0
+
+    @property
+    def compressed(self) -> bool:
+        return str(self.path).endswith(".gz")
 
     def open(self) -> None:
         """Open (and truncate) the file now instead of on first write."""
         if self._handle is None:
-            self._handle = open(self.path, "w")
+            if self.compressed:
+                self._handle = gzip.open(self.path, "wt", encoding="utf-8")
+            else:
+                self._handle = open(self.path, "w")
 
     def write(self, record: dict) -> None:
-        self.open()
-        self._handle.write(json.dumps(record, separators=(",", ":")))
-        self._handle.write("\n")
+        self._buffer.append(json.dumps(record, separators=(",", ":")))
         self.written += 1
+        if len(self._buffer) >= self.buffer_size:
+            self.flush()
 
     def write_many(self, records: Iterable[dict]) -> None:
         for record in records:
             self.write(record)
 
+    def flush(self) -> None:
+        """Push buffered records to the file."""
+        if self._buffer:
+            self.open()
+            self._handle.write("\n".join(self._buffer))
+            self._handle.write("\n")
+            self._buffer = []
+        if self._handle is not None:
+            self._handle.flush()
+
     def close(self) -> None:
+        self.flush()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -49,14 +82,17 @@ class JsonlSink:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        # Deliberately unconditional: an exception mid-campaign must not
+        # discard the records already produced.
         self.close()
         return False
 
 
 def read_jsonl(path: str) -> list[dict]:
-    """Load every record of a JSONL telemetry file."""
+    """Load every record of a JSONL telemetry file (``.gz`` included)."""
+    opener = gzip.open if str(path).endswith(".gz") else open
     records = []
-    with open(path) as handle:
+    with opener(path, "rt") as handle:
         for line in handle:
             line = line.strip()
             if line:
@@ -181,11 +217,23 @@ def summarize_records(records: list[dict]) -> str:
         sections += _render_timing(by_kind["timing"], render_table)
     if "span" in by_kind:
         sections += _render_spans(by_kind["span"], render_table)
-    leftover = {kind: len(items) for kind, items in by_kind.items()
+    leftover = {kind: items for kind, items in by_kind.items()
                 if kind not in ("trial", "timing", "span")}
     if leftover:
-        sections.append("Other records: " + ", ".join(
-            f"{kind} x{n}" for kind, n in sorted(leftover.items())))
+        # Kinds this renderer has no dedicated table for (new producers,
+        # bench cells, taint streams): show count and field names so the
+        # file's contents stay discoverable instead of vanishing.
+        rows = []
+        for kind, items in sorted(leftover.items()):
+            keys = sorted({key for record in items[:50] for key in record
+                           if key != "kind"})
+            sample = ", ".join(keys[:6])
+            if len(keys) > 6:
+                sample += ", ..."
+            rows.append([kind, str(len(items)), sample])
+        sections.append(render_table(
+            ["kind", "count", "sample keys"], rows, title="Other records",
+        ))
     if not sections:
         return "(no telemetry records)"
     return "\n\n".join(sections)

@@ -3,6 +3,7 @@
 from .events import GuestTrap, RunResult, RunStatus, TrapKind
 from .machine import Machine, MachineSnapshot, run_program
 from .memory import Memory, bits_to_float, float_to_bits
+from .taint import TaintTracker
 from .timing import TimingConfig, TimingResult, TimingSimulator, measure_cycles
 from .trace import TraceEntry, format_trace, trace_execution
 
@@ -13,6 +14,7 @@ __all__ = [
     "Memory",
     "RunResult",
     "RunStatus",
+    "TaintTracker",
     "TimingConfig",
     "TimingResult",
     "TimingSimulator",

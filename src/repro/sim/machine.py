@@ -154,6 +154,10 @@ class Machine:
         self.ret_value: int | float | None = None
         self._position: tuple[CompiledFunction, int, int] | None = None
         self._finished: RunResult | None = None
+        # Fault-provenance hook: a repro.sim.taint.TaintTracker, or None.
+        # With None (the default) run() takes the original tight loop and
+        # pays nothing; the injector attaches a tracker around the flip.
+        self.taint = None
         self.reset()
 
     # ------------------------------------------------------------ register map
@@ -211,6 +215,8 @@ class Machine:
             return self._finished
         if self._position is None:
             raise SimulationError("machine not reset")
+        if self.taint is not None and not self.taint.exhausted:
+            return self._run_traced(limit)
         hard_limit = self.max_instructions
         stop_at = hard_limit if limit is None else min(limit, hard_limit)
         func, block_idx, i = self._position
@@ -321,6 +327,119 @@ class Machine:
     def run_to_completion(self) -> RunResult:
         return self.run(None)
 
+    def _run_traced(self, limit: int | None = None) -> RunResult:
+        """The :meth:`run` loop with per-instruction taint hooks.
+
+        Mirrors the fast loop action for action (pause/limit handling,
+        call/return bookkeeping, trap conversion) but consults the block's
+        ``instrs`` alongside its compiled ``steps`` so the attached
+        :class:`~repro.sim.taint.TaintTracker` can observe every dynamic
+        instruction before it executes.  When the tracker's step budget
+        runs out mid-run, control transfers back to the fast loop at the
+        exact same architectural state.
+        """
+        taint = self.taint
+        hard_limit = self.max_instructions
+        stop_at = hard_limit if limit is None else min(limit, hard_limit)
+        func, block_idx, i = self._position
+        self._current_function = func.name
+        icount = self.icount
+        try:
+            while True:
+                block = func.blocks[block_idx]
+                steps = block.steps
+                instrs = block.instrs
+                name = block.name
+                n = len(steps)
+                advanced = False
+                while i < n:
+                    if icount >= stop_at:
+                        self.icount = icount
+                        self._position = (func, block_idx, i)
+                        if icount >= hard_limit:
+                            return self._finish(RunStatus.HANG)
+                        return RunResult(RunStatus.PAUSED,
+                                         instructions=icount)
+                    if taint.exhausted:
+                        # Step budget spent: hand the rest of the run to
+                        # the fast loop (identical results, no tracing).
+                        self.icount = icount
+                        self._position = (func, block_idx, i)
+                        return self.run(limit)
+                    icount += 1
+                    loc = (func.name, name, i)
+                    taint.before_step(self, instrs[i], icount, loc)
+                    act = steps[i](self)
+                    if act is None:
+                        i += 1
+                        continue
+                    if act >= 0:
+                        block_idx = act
+                        i = 0
+                        advanced = True
+                        break
+                    if act == ACT_CALL:
+                        self.call_stack.append(
+                            (func, block_idx, i + 1,
+                             self.pending_dest, self.pending_dest_float)
+                        )
+                        taint.on_call()
+                        func = self.pending_callee
+                        self._current_function = func.name
+                        block_idx = 0
+                        i = 0
+                        advanced = True
+                        break
+                    if act == ACT_RET:
+                        if not self.call_stack:
+                            self.icount = icount
+                            return self._finish(RunStatus.EXITED)
+                        func, block_idx, i, dest, dest_float = (
+                            self.call_stack.pop()
+                        )
+                        self.arg_stack.pop()
+                        if dest >= 0:
+                            value = self.ret_value
+                            if dest_float:
+                                self.fregs[dest] = (
+                                    float(value) if value is not None else 0.0
+                                )
+                            else:
+                                self.regs[dest] = (
+                                    int(value) & MASK64
+                                    if value is not None else 0
+                                )
+                        taint.on_ret(dest, dest_float)
+                        self._current_function = func.name
+                        advanced = True
+                        break
+                    if act == ACT_EXIT:
+                        self.icount = icount
+                        return self._finish(RunStatus.EXITED)
+                    if act == ACT_DETECT:
+                        taint.on_detect(icount, loc)
+                        self.icount = icount
+                        return self._finish(RunStatus.DETECTED)
+                    if act == ACT_RECOVER:
+                        taint.on_recovery(icount, loc)
+                        self.recoveries += 1
+                        if self.first_recovery_icount is None:
+                            self.first_recovery_icount = icount
+                        i += 1
+                        continue
+                    raise SimulationError(f"bad step action {act}")
+                if not advanced:
+                    block_idx += 1
+                    i = 0
+                    if block_idx >= len(func.blocks):
+                        raise GuestTrap(
+                            TrapKind.SEGFAULT,
+                            f"control fell off the end of {func.name}",
+                        )
+        except GuestTrap as trap:
+            self.icount = icount
+            return self._finish(RunStatus.TRAPPED, trap)
+
     # ----------------------------------------------------- checkpoint/restore
     def snapshot(self) -> MachineSnapshot:
         """Capture the complete architectural state at a pause boundary.
@@ -390,6 +509,8 @@ class Machine:
     def flip_register_bit(self, reg_index: int, bit: int) -> None:
         """Flip one bit of a physical integer register (the SEU)."""
         self.regs[reg_index] ^= 1 << bit
+        if self.taint is not None:
+            self.taint.on_flip(self, reg_index, bit)
 
     def next_instruction(self) -> Instruction | None:
         """The instruction the paused machine would execute next."""

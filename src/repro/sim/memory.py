@@ -72,6 +72,20 @@ class Memory:
         ):
             raise GuestTrap(TrapKind.SEGFAULT, f"unmapped access 0x{addr:x}")
 
+    def segment_of(self, addr: int) -> str | None:
+        """Name of the mapped segment holding ``addr``, or ``None``.
+
+        Forensics uses this to tell an escape into live program data
+        (``global``/``heap``) from one into the stack segment.
+        """
+        if self.global_lo <= addr < self.global_hi:
+            return "global"
+        if self.heap_lo <= addr < self.heap_hi:
+            return "heap"
+        if self.stack_lo <= addr < self.stack_hi:
+            return "stack"
+        return None
+
     def is_valid(self, addr: int) -> bool:
         if addr & 7:
             return False

@@ -67,6 +67,34 @@ def test_histogram_buckets():
         metrics.Histogram("bad", buckets=(10, 1))
 
 
+def test_histogram_boundary_values_land_in_their_bucket():
+    histogram = metrics.Histogram("h", buckets=(1, 10, 100))
+    for edge in (1, 10, 100):            # "<= bucket" is inclusive
+        histogram.observe(edge)
+    assert histogram.counts == [1, 1, 1, 0]
+    histogram.observe(101)               # first value past the top edge
+    assert histogram.counts == [1, 1, 1, 1]
+
+
+def test_histogram_above_top_bucket_overflows():
+    histogram = metrics.Histogram("h", buckets=(1, 2))
+    histogram.observe(10 ** 9)
+    assert histogram.counts == [0, 0, 1]
+    assert histogram.count == 1
+    assert histogram.mean == 10 ** 9
+
+
+def test_empty_histogram_summarizes_cleanly():
+    histogram = metrics.Histogram("h", buckets=(1, 2))
+    assert histogram.count == 0
+    assert histogram.mean == 0.0
+    record = histogram.to_dict()
+    assert record["counts"] == [0, 0, 0]
+    # An exported empty histogram renders without dividing by zero.
+    summary = summarize_records([record])
+    assert "metric" in summary
+
+
 def test_registry_snapshot_and_reset():
     registry = metrics.MetricsRegistry()
     registry.counter("a").inc()
@@ -209,6 +237,44 @@ def test_jsonl_round_trip(tmp_path, swiftr_binary):
     assert records == log.to_dicts()
 
 
+def test_jsonl_gzip_round_trip(tmp_path):
+    path = str(tmp_path / "t.jsonl.gz")
+    records = [{"kind": "trial", "trial": i} for i in range(500)]
+    with JsonlSink(path) as sink:
+        sink.write_many(records)
+    assert sink.written == 500
+    # The file really is gzip, and reads back transparently.
+    with open(path, "rb") as handle:
+        assert handle.read(2) == b"\x1f\x8b"
+    assert read_jsonl(path) == records
+
+
+def test_sink_flushes_on_exception(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    with pytest.raises(RuntimeError, match="mid-campaign"):
+        with JsonlSink(path) as sink:
+            sink.write({"kind": "trial", "trial": 0})
+            sink.write({"kind": "trial", "trial": 1})
+            raise RuntimeError("mid-campaign crash")
+    # Both buffered records survived the unwind.
+    assert [r["trial"] for r in read_jsonl(path)] == [0, 1]
+
+
+def test_sink_buffers_until_threshold(tmp_path):
+    import os
+
+    path = str(tmp_path / "t.jsonl")
+    sink = JsonlSink(path, buffer_size=10)
+    for i in range(9):
+        sink.write({"trial": i})
+    assert not os.path.exists(path)       # nothing flushed yet
+    sink.write({"trial": 9})              # tenth record crosses the line
+    assert len(read_jsonl(path)) == 10
+    sink.write({"trial": 10})
+    sink.close()
+    assert len(read_jsonl(path)) == 11
+
+
 def test_summarize_matches_campaign(tmp_path, swiftr_binary):
     path = str(tmp_path / "t.jsonl")
     log = CampaignLog()
@@ -239,8 +305,29 @@ def test_summarize_mixed_kinds():
     assert "Per-cell breakdown" in summary       # two distinct cells
     assert "Timing cells" in summary
     assert "Spans" in summary
-    assert "metric x1" in summary
+    assert "Other records" in summary            # unknown kinds survive
+    assert "metric" in summary
     assert summarize_records([]) == "(no telemetry records)"
+
+
+def test_summarize_unknown_kinds_show_count_and_keys():
+    records = [
+        {"kind": "mystery", "alpha": 1, "beta": 2},
+        {"kind": "mystery", "alpha": 3, "gamma": 4},
+        {"kind": "metric", "type": "counter", "name": "x", "value": 1},
+    ]
+    summary = summarize_records(records)
+    assert "Other records" in summary
+    assert "sample keys" in summary
+    mystery_row = next(line for line in summary.splitlines()
+                       if line.startswith("mystery"))
+    assert "2" in mystery_row
+    # Union of keys across samples, minus the discriminator.
+    for key in ("alpha", "beta", "gamma"):
+        assert key in mystery_row
+    metric_row = next(line for line in summary.splitlines()
+                      if line.startswith("metric"))
+    assert "name" in metric_row and "value" in metric_row
 
 
 # --------------------------------------------------------------- harnesses
