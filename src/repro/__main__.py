@@ -16,8 +16,11 @@ Subcommands:
 export spans, metrics, and per-trial records as JSONL (see
 ``docs/observability.md``).  ``campaign`` and ``fig8`` accept
 ``--jobs N`` to shard trials over worker processes with bit-identical
-results (see ``docs/performance.md``) and ``--taint`` to trace each
-fault's dataflow for escape forensics.
+results (see ``docs/performance.md``), ``--taint`` to trace each
+fault's dataflow for escape forensics, and
+``--adaptive --ci-width W --confidence C`` to run stratified
+sequential campaigns that stop at a target confidence-interval width
+instead of a fixed trial count (see ``docs/statistics.md``).
 """
 
 from __future__ import annotations
@@ -84,6 +87,12 @@ def _cmd_campaign(args) -> int:
                                    "technique": args.technique.value,
                                    "seed": args.seed})
     binary = _load_binary(args.file, args.technique)
+    if args.adaptive:
+        if args.taint:
+            print("error: --taint is not supported with --adaptive",
+                  file=sys.stderr)
+            return 2
+        return _adaptive_campaign(args, binary, sink, log)
     campaign = run_parallel_campaign(binary, trials=args.trials,
                                      seed=args.seed, jobs=args.jobs,
                                      log=log, taint=args.taint)
@@ -109,6 +118,45 @@ def _cmd_campaign(args) -> int:
 
         print()
         print(render_report(analyze_log(log)))
+    return 0
+
+
+def _adaptive_campaign(args, binary, sink, log) -> int:
+    """Run one adaptive campaign and print its stopping summary."""
+    from .eval.telemetry import export_session
+    from .stats import AdaptiveConfig, run_adaptive_campaign
+
+    config = AdaptiveConfig(ci_width=args.ci_width / 100.0,
+                            confidence=args.confidence,
+                            metric=args.metric,
+                            max_trials=args.max_trials)
+    result = run_adaptive_campaign(binary, config=config, seed=args.seed,
+                                   jobs=args.jobs, log=log)
+    campaign = result.result
+    estimate = result.estimate
+    print(f"technique : {args.technique.label}")
+    print(f"metric    : {args.metric}")
+    print(f"trials    : {campaign.trials} of cap {config.max_trials}")
+    print(f"batches   : {len(result.batches)} "
+          f"across {len(result.cells)} strata")
+    print(f"estimate  : {estimate} at {args.confidence:.0%} confidence")
+    print(f"half-width: {100*estimate.half_width:5.2f} pts "
+          f"(target {args.ci_width:.2f})")
+    print("status    : "
+          + ("target reached" if result.target_met else "trial cap hit"))
+    print(f"unACE     : {campaign.unace_percent:6.2f}%")
+    print(f"SEGV      : {campaign.segv_percent:6.2f}%")
+    print(f"SDC       : {campaign.sdc_percent:6.2f}%")
+    if campaign.detected_percent:
+        print(f"detected  : {campaign.detected_percent:6.2f}%")
+    print(f"repairs   : fired in {campaign.recoveries} runs")
+    if sink is not None:
+        sink.write_many(log.to_dicts())
+        sink.write_many(result.batch_dicts(
+            context={"source": args.file,
+                     "technique": args.technique.value,
+                     "seed": args.seed}))
+        export_session(sink)
     return 0
 
 
@@ -164,6 +212,12 @@ def _cmd_fig8(args) -> int:
         argv += ["--telemetry", args.telemetry]
     if args.taint:
         argv += ["--taint"]
+    if args.adaptive:
+        argv += ["--adaptive", "--ci-width", str(args.ci_width),
+                 "--confidence", str(args.confidence),
+                 "--max-trials", str(args.max_trials)]
+    if args.ci:
+        argv += ["--ci", "--confidence", str(args.confidence)]
     return reliability.main(argv)
 
 
@@ -212,6 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--taint", action="store_true",
                             help="trace each fault's dataflow and print "
                                  "the per-mechanism forensics report")
+    p_campaign.add_argument("--adaptive", action="store_true",
+                            help="stratified sequential campaign: stop "
+                                 "when the metric's CI half-width hits "
+                                 "--ci-width instead of after --trials")
+    p_campaign.add_argument("--ci-width", type=float, default=2.5,
+                            help="adaptive target CI half-width in "
+                                 "percentage points (default 2.5)")
+    p_campaign.add_argument("--confidence", type=float, default=0.95,
+                            help="confidence level (default 0.95)")
+    p_campaign.add_argument("--max-trials", type=int, default=4000,
+                            help="adaptive trial cap")
+    p_campaign.add_argument("--metric", default="unace",
+                            choices=["unace", "sdc", "segv", "failure",
+                                     "detected"],
+                            help="rate the adaptive stopping rule targets")
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_profile = sub.add_parser("profile",
@@ -234,6 +303,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write per-trial JSONL telemetry here")
     p_fig8.add_argument("--taint", action="store_true",
                         help="trace fault dataflow into the telemetry file")
+    p_fig8.add_argument("--adaptive", action="store_true",
+                        help="adaptive suite-level campaigns per technique "
+                             "instead of a fixed per-cell budget")
+    p_fig8.add_argument("--ci-width", type=float, default=2.5,
+                        help="adaptive target CI half-width in percentage "
+                             "points (default 2.5)")
+    p_fig8.add_argument("--confidence", type=float, default=0.95,
+                        help="confidence level for intervals and claims")
+    p_fig8.add_argument("--max-trials", type=int, default=4000,
+                        help="adaptive per-technique trial cap")
+    p_fig8.add_argument("--ci", action="store_true",
+                        help="annotate tables with confidence intervals "
+                             "and the claims table")
     p_fig8.set_defaults(func=_cmd_fig8)
 
     p_fig9 = sub.add_parser("fig9", help="reproduce Figure 9 (performance)")

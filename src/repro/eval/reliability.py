@@ -19,10 +19,23 @@ import sys
 from dataclasses import dataclass, field
 
 from ..faults.campaign import CampaignResult, run_campaign
+from ..faults.outcomes import Outcome
+from ..faults.stats import Proportion
 from ..faults.parallel import run_parallel_campaign
 from ..obs.campaign_log import CampaignLog
 from ..obs.sink import JsonlSink
 from ..obs.spans import span
+from ..stats.claims import evaluate_claims, render_claims
+from ..stats.estimators import (
+    StratifiedEstimate,
+    StratumCell,
+    stratified_estimate,
+)
+from ..stats.sequential import (
+    AdaptiveConfig,
+    AdaptiveResult,
+    run_adaptive_suite,
+)
 from ..transform.protect import PAPER_TECHNIQUES, Technique
 from ..workloads.suite import PAPER_BENCHMARKS
 from .pipeline import PipelineOptions, prepare_machine
@@ -45,6 +58,10 @@ class ReliabilityResults:
     )
     benchmarks: list[str] = field(default_factory=list)
     techniques: list[Technique] = field(default_factory=list)
+    confidence: float = 0.95
+    #: Per-technique adaptive-run details, populated by
+    #: ``evaluate_reliability(adaptive=True)``.
+    adaptive: dict[Technique, AdaptiveResult] = field(default_factory=dict)
 
     def cell(self, benchmark: str, technique: Technique) -> CampaignResult:
         return self.cells[(benchmark, technique)]
@@ -78,6 +95,10 @@ def evaluate_reliability(
     telemetry: JsonlSink | None = None,
     jobs: int = 1,
     taint: bool = False,
+    adaptive: bool = False,
+    ci_width: float = 0.025,
+    confidence: float = 0.95,
+    max_trials: int = 4000,
 ) -> ReliabilityResults:
     """Run the full Figure-8 campaign grid.
 
@@ -89,13 +110,30 @@ def evaluate_reliability(
     ``taint=True`` additionally traces every fault's dataflow and
     exports the per-trial event streams alongside the trial records,
     so ``python -m repro obs forensics`` can attribute each cell.
+
+    ``adaptive=True`` replaces the fixed per-cell budget with one
+    sequential suite-level campaign per technique (see
+    :func:`repro.stats.sequential.run_adaptive_suite`): each runs
+    until the suite-average unACE interval is within ``ci_width``
+    (a proportion) at ``confidence``, or ``max_trials`` for that
+    technique.  ``trials`` is ignored; per-cell trial counts then
+    vary by how noisy each cell is.
     """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
     options = options or PipelineOptions()
     results = ReliabilityResults(trials=trials, seed=seed,
                                  benchmarks=benchmarks,
-                                 techniques=techniques)
+                                 techniques=techniques,
+                                 confidence=confidence)
+    if adaptive:
+        if taint:
+            raise ValueError("taint tracing is not supported with "
+                             "adaptive campaigns")
+        _evaluate_adaptive(results, options, telemetry=telemetry,
+                           progress=progress, jobs=jobs,
+                           ci_width=ci_width, max_trials=max_trials)
+        return results
     for bench in benchmarks:
         for tech in techniques:
             log = None
@@ -131,40 +169,191 @@ def evaluate_reliability(
     return results
 
 
-def render_figure8(results: ReliabilityResults) -> str:
-    """The Figure-8 data as a per-benchmark table plus the average row."""
+def _evaluate_adaptive(results: ReliabilityResults,
+                       options: PipelineOptions,
+                       telemetry: JsonlSink | None,
+                       progress: bool, jobs: int,
+                       ci_width: float, max_trials: int) -> None:
+    """One adaptive suite-level campaign per technique."""
+    config = AdaptiveConfig(ci_width=ci_width,
+                            confidence=results.confidence,
+                            max_trials=max_trials)
+    for tech in results.techniques:
+        logs = None
+        if telemetry is not None:
+            logs = {bench: CampaignLog(context={"benchmark": bench,
+                                                "technique": tech.value,
+                                                "seed": results.seed})
+                    for bench in results.benchmarks}
+        with span("fig8.adaptive", technique=tech.value) as tech_span:
+            machines = [(bench, prepare_machine(bench, tech, options))
+                        for bench in results.benchmarks]
+            adaptive = run_adaptive_suite(machines, config=config,
+                                          seed=results.seed, jobs=jobs,
+                                          logs=logs)
+        results.adaptive[tech] = adaptive
+        for bench in results.benchmarks:
+            results.cells[(bench, tech)] = adaptive.arm_results[bench]
+        if telemetry is not None:
+            for bench in results.benchmarks:
+                telemetry.write_many(logs[bench].to_dicts())
+            telemetry.write_many(adaptive.batch_dicts(
+                {"technique": tech.value, "seed": results.seed}))
+        if progress:
+            print(
+                f"  {tech.label:14s} adaptive: {adaptive.trials} trials, "
+                f"{len(adaptive.batches)} batches, unACE "
+                f"{adaptive.estimate} "
+                f"({'target reached' if adaptive.target_met else 'cap hit'}"
+                f", {tech_span.elapsed:.1f}s)",
+                file=sys.stderr,
+            )
+
+
+#: (column title, raw percent getter, raw count getter, outcome set).
+#: The outcome set drives the post-stratified estimators used for
+#: adaptive grids, where raw per-cell fractions are biased by the
+#: non-uniform Neyman allocation.
+_METRIC_COUNTS = (
+    ("unACE %", lambda c: c.unace_percent,
+     lambda c: c.count(Outcome.UNACE), (Outcome.UNACE,)),
+    ("SEGV %", lambda c: c.segv_percent,
+     lambda c: c.count(Outcome.SEGV), (Outcome.SEGV,)),
+    ("SDC %", lambda c: c.sdc_percent,
+     lambda c: c.count(Outcome.SDC) + c.count(Outcome.HANG),
+     (Outcome.SDC, Outcome.HANG)),
+)
+
+#: The paper's failure metric (SDC+SEGV, hangs folded into SDC).
+_FAILURE_OUTCOMES = (Outcome.SDC, Outcome.HANG, Outcome.SEGV)
+
+
+def suite_estimate(results: ReliabilityResults, technique: Technique,
+                   counter) -> StratifiedEstimate:
+    """Suite-average rate for one technique with its interval.
+
+    Benchmarks act as equal-weight strata (matching the Figure 8
+    "Average" row, a plain mean of per-benchmark percentages), so this
+    is exact for both fixed and adaptive grids even when per-cell trial
+    counts differ.
+    """
+    cells = [
+        StratumCell(key=bench, weight=1.0 / len(results.benchmarks),
+                    trials=results.cell(bench, technique).trials,
+                    successes=counter(results.cell(bench, technique)))
+        for bench in results.benchmarks
+    ]
+    return stratified_estimate(cells, results.confidence)
+
+
+def render_figure8(results: ReliabilityResults,
+                   confidence: float | None = None) -> str:
+    """The Figure-8 data as a per-benchmark table plus the average row.
+
+    With a ``confidence`` level, every cell is annotated with its
+    interval (Wilson, or Jeffreys for degenerate cells), the Average
+    row carries the suite-level post-stratified interval, and the
+    significance-tested claims table is appended.  With ``None`` the
+    output is the original, un-annotated rendering.
+    """
     headers = ["benchmark"] + [t.label for t in results.techniques]
+    level = confidence if confidence is not None else results.confidence
     sections = []
-    for metric, getter in (
-        ("unACE %", lambda c: c.unace_percent),
-        ("SEGV %", lambda c: c.segv_percent),
-        ("SDC %", lambda c: c.sdc_percent),
-    ):
+    for metric, getter, counter, outcomes in _METRIC_COUNTS:
         rows = []
         for bench in results.benchmarks:
-            rows.append(
-                [bench]
-                + [fmt_pct(getter(results.cell(bench, t)))
-                   for t in results.techniques]
-            )
-        rows.append(
-            ["Average"]
-            + [fmt_pct(average([getter(results.cell(b, t))
-                                for b in results.benchmarks]))
-               for t in results.techniques]
-        )
+            row = [bench]
+            for t in results.techniques:
+                cell = results.cell(bench, t)
+                run = results.adaptive.get(t)
+                if run is not None:
+                    # Adaptive cells: the raw fraction is biased by
+                    # Neyman allocation; report the post-stratified
+                    # per-arm estimate instead.
+                    est = run.arm_estimate(bench, outcomes, level)
+                    text = fmt_pct(est.percent)
+                    if confidence is not None:
+                        text += f" [{100*est.low:5.2f},{100*est.high:6.2f}]"
+                elif confidence is None:
+                    text = fmt_pct(getter(cell))
+                else:
+                    text = (fmt_pct(getter(cell))
+                            + _interval_text(counter(cell), cell.trials,
+                                             confidence))
+                row.append(text)
+            rows.append(row)
+        avg_row = ["Average"]
+        for t in results.techniques:
+            run = results.adaptive.get(t)
+            if run is not None:
+                est = run.suite_estimate(outcomes, level)
+                text = fmt_pct(est.percent)
+                if confidence is not None:
+                    text += f" [{100*est.low:5.2f},{100*est.high:6.2f}]"
+                avg_row.append(text)
+                continue
+            mean = average([getter(results.cell(b, t))
+                            for b in results.benchmarks])
+            if confidence is None:
+                avg_row.append(fmt_pct(mean))
+            else:
+                estimate = suite_estimate(results, t, counter)
+                avg_row.append(
+                    fmt_pct(mean)
+                    + f" [{100*estimate.low:5.2f},{100*estimate.high:6.2f}]")
+        rows.append(avg_row)
         sections.append(render_table(headers, rows,
                                      title=f"Figure 8 -- {metric}"))
+
+    def _suite_percent(tech: Technique,
+                       outcomes: tuple[Outcome, ...],
+                       raw: float) -> float:
+        run = results.adaptive.get(tech)
+        if run is None:
+            return raw
+        return 100.0 * run.suite_estimate(outcomes, level).value
+
+    noft_fail = _suite_percent(
+        Technique.NOFT, _FAILURE_OUTCOMES,
+        results.mean_sdc(Technique.NOFT) + results.mean_segv(Technique.NOFT))
     scalars = ["Headline scalars (paper Sections 1/7/9):"]
     for tech in results.techniques:
         if tech is Technique.NOFT:
             continue
+        unace = _suite_percent(tech, (Outcome.UNACE,),
+                               results.mean_unace(tech))
+        fail = _suite_percent(
+            tech, _FAILURE_OUTCOMES,
+            results.mean_sdc(tech) + results.mean_segv(tech))
         scalars.append(
-            f"  {tech.label:14s} mean unACE {results.mean_unace(tech):6.2f}%"
+            f"  {tech.label:14s} mean unACE {unace:6.2f}%"
             f"  SDC+SEGV reduction vs NOFT "
-            f"{results.failure_reduction(tech):6.2f}%"
+            f"{reduction_percent(noft_fail, fail):6.2f}%"
         )
-    return "\n\n".join(sections + ["\n".join(scalars)])
+    sections.append("\n".join(scalars))
+    if results.adaptive:
+        lines = ["Adaptive stopping (suite unACE half-width target):"]
+        for tech, adaptive in results.adaptive.items():
+            target = adaptive.config.ci_width
+            lines.append(
+                f"  {tech.label:14s} {adaptive.trials:5d} trials in "
+                f"{len(adaptive.batches)} batches, half-width "
+                f"{100*adaptive.estimate.half_width:.2f} pts "
+                f"(target {100*target:.2f}): "
+                + ("target reached" if adaptive.target_met
+                   else "trial cap hit")
+            )
+        sections.append("\n".join(lines))
+    if confidence is not None:
+        claims = evaluate_claims(results, confidence)
+        if claims:
+            sections.append(render_claims(claims))
+    return "\n\n".join(sections)
+
+
+def _interval_text(successes: int, trials: int, confidence: float) -> str:
+    low, high = Proportion(successes, trials, confidence).interval()
+    return f" [{100*low:5.2f},{100*high:6.2f}]"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -184,6 +373,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--taint", action="store_true",
                         help="trace fault dataflow into the telemetry file "
                              "(for `obs forensics`)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="replace the fixed per-cell budget with "
+                             "sequential suite-level campaigns that stop "
+                             "at the target CI half-width")
+    parser.add_argument("--ci-width", type=float, default=2.5,
+                        help="adaptive target CI half-width in percentage "
+                             "points (default 2.5)")
+    parser.add_argument("--confidence", type=float, default=0.95,
+                        help="confidence level for intervals and claims "
+                             "(default 0.95)")
+    parser.add_argument("--max-trials", type=int, default=4000,
+                        help="adaptive per-technique trial cap")
+    parser.add_argument("--ci", action="store_true",
+                        help="annotate the tables with confidence "
+                             "intervals and the claims table (implied by "
+                             "--adaptive)")
     args = parser.parse_args(argv)
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(PAPER_BENCHMARKS))
@@ -191,9 +396,14 @@ def main(argv: list[str] | None = None) -> int:
     results = evaluate_reliability(benchmarks=benchmarks,
                                    trials=args.trials, seed=args.seed,
                                    progress=True, telemetry=sink,
-                                   jobs=args.jobs, taint=args.taint)
+                                   jobs=args.jobs, taint=args.taint,
+                                   adaptive=args.adaptive,
+                                   ci_width=args.ci_width / 100.0,
+                                   confidence=args.confidence,
+                                   max_trials=args.max_trials)
     export_session(sink)
-    print(render_figure8(results))
+    confidence = (args.confidence if (args.ci or args.adaptive) else None)
+    print(render_figure8(results, confidence=confidence))
     return 0
 
 

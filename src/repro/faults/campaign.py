@@ -137,6 +137,7 @@ def run_campaign(
     log: CampaignLog | None = None,
     checkpoint_interval: int | None = None,
     taint: bool = False,
+    sites: list[FaultSite] | None = None,
 ) -> CampaignResult:
     """Run a full SEU campaign against ``program``.
 
@@ -147,6 +148,13 @@ def run_campaign(
     structured record per trial (fault site, outcome, detection
     latency); with ``log=None`` the trial loop does no per-trial
     telemetry work at all.
+
+    Pass an explicit ``sites`` list to campaign a pre-realized set of
+    fault sites instead of sampling ``trials`` of them from ``seed``
+    (the adaptive runner does this with stratified draws); ``trials``
+    and ``seed`` are then ignored.  ``run_campaign(seed=s, trials=n)``
+    is bit-identical to
+    ``run_campaign(sites=sample_sites(s, golden_instructions, n))``.
 
     Trials replay from periodic golden-run checkpoints (see
     :class:`~repro.faults.injector.CheckpointStore`); pass
@@ -180,19 +188,21 @@ def run_campaign(
             f"golden run did not complete cleanly: {golden.status}"
         )
     result = CampaignResult(golden_instructions=golden.instructions)
-    rng = random.Random(seed)
+    if sites is None:
+        rng = random.Random(seed)
+        sites = [sample_fault_site(rng, golden.instructions)
+                 for _ in range(trials)]
+    trials = len(sites)
     log_start = len(log.records) if log is not None else 0
     with span("campaign", trials=trials, seed=seed):
         if log is None:
-            for _ in range(trials):
-                site = sample_fault_site(rng, golden.instructions)
+            for site in sites:
                 faulty = run_trial(site)
                 result.record(classify(golden, faulty),
                               recovered=faulty.recoveries > 0,
                               landed=fault_landed(site, faulty))
         else:
-            for trial in range(trials):
-                site = sample_fault_site(rng, golden.instructions)
+            for trial, site in enumerate(sites):
                 tracker = TaintTracker() if taint else None
                 faulty = run_trial(site, taint=tracker)
                 outcome = classify(golden, faulty)

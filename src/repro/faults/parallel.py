@@ -152,6 +152,7 @@ def run_parallel_campaign(
     log: CampaignLog | None = None,
     checkpoint_interval: int | None = None,
     taint: bool = False,
+    sites: list[FaultSite] | None = None,
 ) -> CampaignResult:
     """Run an SEU campaign sharded over ``jobs`` worker processes.
 
@@ -163,6 +164,11 @@ def run_parallel_campaign(
     runner.  The ``machine`` parameter only spares the parent a
     recompile for its golden run -- workers always compile their own.
 
+    An explicit ``sites`` list (see :func:`run_campaign`) replaces the
+    seeded sampling entirely; the campaign is then bit-identical across
+    any ``jobs`` for that realized list, which is what lets the
+    adaptive runner shard its stratified batches.
+
     ``taint=True`` traces each fault's dataflow exactly as the serial
     runner does; shard merge keeps both the trial records and the taint
     streams in trial order, so the concatenated ``log`` matches
@@ -173,21 +179,24 @@ def run_parallel_campaign(
                          "to receive the event streams")
     if jobs == 0:
         jobs = default_jobs()
+    if sites is not None:
+        trials = len(sites)
     if jobs <= 1 or trials <= 1:
         return run_campaign(program, trials=trials, seed=seed,
                             max_instructions=max_instructions,
                             machine=machine, log=log,
                             checkpoint_interval=checkpoint_interval,
-                            taint=taint)
+                            taint=taint, sites=sites)
     machine = machine or Machine(program, max_instructions=max_instructions)
     golden = golden_run(machine)
     if golden.status is not RunStatus.EXITED:
         raise SimulationError(
             f"golden run did not complete cleanly: {golden.status}"
         )
-    rng = random.Random(seed)
-    sites = [sample_fault_site(rng, golden.instructions)
-             for _ in range(trials)]
+    if sites is None:
+        rng = random.Random(seed)
+        sites = [sample_fault_site(rng, golden.instructions)
+                 for _ in range(trials)]
     jobs = min(jobs, len(sites))
     chunks = _partition(sites, jobs)
 

@@ -1,14 +1,31 @@
-"""Small statistics helpers for fault-injection campaigns."""
+"""Statistics primitives for fault-injection campaigns.
+
+Binomial proportions with Wilson and Jeffreys intervals, the inverse
+normal CDF they need, and the geometric mean used by the Figure-9
+aggregate.  Everything is pure ``math`` -- campaigns must run (and CI
+must pass) without scipy.
+
+Interval policy: Wilson score is the workhorse (good coverage at
+campaign-scale ``n``, never escapes [0, 1]).  For the *degenerate*
+cells -- 0 successes or ``n`` of ``n``, which the near-perfect SWIFT-R
+campaigns produce constantly -- Wilson's lower (upper) bound collapses
+onto the point estimate, so :meth:`Proportion.interval` switches to
+the Jeffreys interval (equal-tailed Beta(x+1/2, n-x+1/2) credible
+interval), the standard recommendation for those cells (Brown, Cai &
+DasGupta 2001).
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
 
+_SQRT2 = math.sqrt(2.0)
+
 
 @dataclass(frozen=True)
 class Proportion:
-    """A binomial proportion with a Wilson score confidence interval."""
+    """A binomial proportion with confidence intervals."""
 
     successes: int
     trials: int
@@ -27,30 +44,182 @@ class Proportion:
         if self.trials == 0:
             return (0.0, 1.0)
         z = _z_value(self.confidence)
-        n = self.trials
-        p = self.value
-        denom = 1 + z * z / n
-        centre = (p + z * z / (2 * n)) / denom
-        half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
-        return (max(0.0, centre - half), min(1.0, centre + half))
+        return wilson_bounds(self.value, self.trials, z)
+
+    def jeffreys_interval(self) -> tuple[float, float]:
+        """(low, high) Jeffreys (Beta(x+1/2, n-x+1/2)) interval.
+
+        By the usual convention the lower bound is exactly 0 when no
+        successes were observed and the upper bound exactly 1 when
+        every trial succeeded, so degenerate campaign cells (all-unACE
+        SWIFT-R, zero-SDC) still get a one-sided interval of honest
+        width instead of a point.
+        """
+        if self.trials == 0:
+            return (0.0, 1.0)
+        alpha = 1.0 - self.confidence
+        a = self.successes + 0.5
+        b = self.trials - self.successes + 0.5
+        low = 0.0 if self.successes == 0 else beta_quantile(alpha / 2, a, b)
+        high = (1.0 if self.successes == self.trials
+                else beta_quantile(1.0 - alpha / 2, a, b))
+        return (low, high)
+
+    def interval(self) -> tuple[float, float]:
+        """The interval this proportion should report: Wilson, except
+        Jeffreys for the degenerate 0-of-n and n-of-n cells."""
+        if self.trials and self.successes in (0, self.trials):
+            return self.jeffreys_interval()
+        return self.wilson_interval()
+
+    @property
+    def half_width(self) -> float:
+        low, high = self.interval()
+        return 0.5 * (high - low)
 
     def __str__(self) -> str:
-        low, high = self.wilson_interval()
+        low, high = self.interval()
         return f"{self.percent:.2f}% [{100*low:.2f}, {100*high:.2f}]"
 
 
+def wilson_bounds(p: float, n: float, z: float) -> tuple[float, float]:
+    """Wilson score interval from a rate and an (effective) trial count.
+
+    Factored out of :class:`Proportion` because the post-stratified
+    estimators (:mod:`repro.stats.estimators`) apply the same formula
+    to a *fractional* effective sample size.
+    """
+    if n <= 0:
+        return (0.0, 1.0)
+    denom = 1 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+# ------------------------------------------------------------ normal quantile
+# Acklam's rational approximation of the inverse normal CDF (relative
+# error < 1.2e-9 everywhere), sharpened to near machine precision with
+# one Halley step against the erf-based exact CDF.
+_ACKLAM_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+             -2.759285104469687e+02, 1.383577518672690e+02,
+             -3.066479806614716e+01, 2.506628277459239e+00)
+_ACKLAM_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+             -1.556989798598866e+02, 6.680131188771972e+01,
+             -1.328068155288572e+01)
+_ACKLAM_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+             -2.400758277161838e+00, -2.549732539343734e+00,
+             4.374664141464968e+00, 2.938163982698783e+00)
+_ACKLAM_D = (7.784695709041462e-03, 3.224671290700398e-01,
+             2.445134137142996e+00, 3.754408661907416e+00)
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal CDF, exact via erfc."""
+    return 0.5 * math.erfc(-x / _SQRT2)
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (the probit function)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile probability out of (0, 1): {p}")
+    a, b, c, d = _ACKLAM_A, _ACKLAM_B, _ACKLAM_C, _ACKLAM_D
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        x = ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+              * q + c[5])
+             / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    elif p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        x = ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
+              * r + a[5]) * q
+             / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4])
+                * r + 1))
+    else:
+        q = math.sqrt(-2 * math.log1p(-p))
+        x = -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+               * q + c[5])
+              / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    # One Halley refinement against the exact CDF.
+    err = normal_cdf(x) - p
+    u = err * math.sqrt(2 * math.pi) * math.exp(x * x / 2)
+    return x - u / (1 + x * u / 2)
+
+
 def _z_value(confidence: float) -> float:
-    """Two-sided normal quantile for common confidence levels."""
-    table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
-    if confidence in table:
-        return table[confidence]
-    # Beasley-Springer-Moro style rational approximation is overkill
-    # here; fall back to a coarse bisection on erf.
-    target = 0.5 * (1 + confidence)
-    low, high = 0.0, 10.0
+    """Two-sided normal quantile for a confidence level."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence out of (0, 1): {confidence}")
+    return normal_quantile(0.5 * (1.0 + confidence))
+
+
+# -------------------------------------------------------------- beta quantile
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Lentz's method)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 300):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 3e-16:
+            break
+    return h
+
+
+def beta_cdf(x: float, a: float, b: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    front = math.exp(a * math.log(x) + b * math.log1p(-x) - _log_beta(a, b))
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def beta_quantile(q: float, a: float, b: float) -> float:
+    """Inverse of :func:`beta_cdf` in its first argument (bisection)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile probability out of [0, 1]: {q}")
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return 1.0
+    low, high = 0.0, 1.0
     for _ in range(80):
         mid = 0.5 * (low + high)
-        if 0.5 * (1 + math.erf(mid / math.sqrt(2))) < target:
+        if beta_cdf(mid, a, b) < q:
             low = mid
         else:
             high = mid

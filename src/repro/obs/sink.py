@@ -1,8 +1,9 @@
 """Telemetry sinks: JSONL export and an in-memory summary renderer.
 
 Every telemetry record is one flat JSON object per line with a ``kind``
-discriminator (``trial``, ``span``, ``timing``, ``metric``, plus the
-bench-emitted ``fig8_cell``/``fig9_cell``).  JSONL keeps the sink
+discriminator (``trial``, ``span``, ``timing``, ``metric``,
+``adaptive_batch``, plus the bench-emitted
+``fig8_cell``/``fig9_cell``).  JSONL keeps the sink
 append-only -- campaigns can stream records as trials finish, shards
 can concatenate their files, and ``python -m repro obs summarize``
 can render any mix of kinds.  See ``docs/observability.md`` for the
@@ -188,6 +189,36 @@ def _render_spans(spans: list[dict], render_table) -> list[str]:
     )]
 
 
+def _render_adaptive(batches: list[dict], render_table) -> list[str]:
+    """One row per adaptive batch: the campaign's convergence path."""
+    sections = []
+    groups: dict[str, list[dict]] = {}
+    for record in batches:
+        groups.setdefault(_group_key(record), []).append(record)
+    for group, members in sorted(groups.items()):
+        members = sorted(members, key=lambda r: r.get("batch", 0))
+        rows = []
+        for record in members:
+            rows.append([
+                str(record.get("batch", "?")),
+                str(record.get("trials", "?")),
+                str(record.get("total_trials", "?")),
+                f"{100.0 * record.get('estimate', 0.0):6.2f}",
+                f"{100.0 * record.get('half_width', 0.0):5.2f}",
+                "yes" if record.get("met") else "no",
+            ])
+        last = members[-1]
+        metric = last.get("metric", "?")
+        target = 100.0 * last.get("target", 0.0)
+        title = (f"Adaptive batches ({group}): metric {metric}, "
+                 f"target half-width {target:.2f} pts")
+        sections.append(render_table(
+            ["batch", "trials", "total", "estimate%", "hw pts", "met"],
+            rows, title=title,
+        ))
+    return sections
+
+
 def _render_timing(cells: list[dict], render_table) -> list[str]:
     rows = [
         [str(record.get("benchmark", "?")), str(record.get("technique", "?")),
@@ -213,12 +244,16 @@ def summarize_records(records: list[dict]) -> str:
     sections: list[str] = []
     if "trial" in by_kind:
         sections += _render_trials(by_kind["trial"], render_table)
+    if "adaptive_batch" in by_kind:
+        sections += _render_adaptive(by_kind["adaptive_batch"],
+                                     render_table)
     if "timing" in by_kind:
         sections += _render_timing(by_kind["timing"], render_table)
     if "span" in by_kind:
         sections += _render_spans(by_kind["span"], render_table)
     leftover = {kind: items for kind, items in by_kind.items()
-                if kind not in ("trial", "timing", "span")}
+                if kind not in ("trial", "timing", "span",
+                                "adaptive_batch")}
     if leftover:
         # Kinds this renderer has no dedicated table for (new producers,
         # bench cells, taint streams): show count and field names so the

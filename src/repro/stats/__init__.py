@@ -1,0 +1,60 @@
+"""Adaptive statistical campaign engine.
+
+Turns fixed-count fault-injection campaigns into confidence-driven
+ones:
+
+- :mod:`repro.stats.space` — enumerate and stratify the dynamic
+  (instruction, register, bit) fault-site population from a golden-run
+  profile.
+- :mod:`repro.stats.estimators` — post-stratified, population-weighted
+  rate estimates with Wilson/Jeffreys intervals and two-proportion
+  difference tests.
+- :mod:`repro.stats.allocation` — Neyman-style batch allocation to the
+  highest-variance strata.
+- :mod:`repro.stats.sequential` — the sequential runner: batches until
+  a target CI half-width or a trial cap.
+- :mod:`repro.stats.claims` — the EXPERIMENTS.md headline scalars as
+  significance-tested assertions.
+"""
+
+from .allocation import neyman_allocation
+from .claims import Claim, evaluate_claims, render_claims
+from .estimators import (
+    DifferenceTest,
+    StratifiedEstimate,
+    StratumCell,
+    estimate_difference,
+    stratified_estimate,
+    two_proportion_diff,
+)
+from .sequential import (
+    AdaptiveConfig,
+    AdaptiveResult,
+    BatchRecord,
+    StratumOutcomes,
+    run_adaptive_campaign,
+    run_adaptive_suite,
+)
+from .space import FaultSpace, Stratum, profile_fault_space
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "BatchRecord",
+    "Claim",
+    "DifferenceTest",
+    "FaultSpace",
+    "Stratum",
+    "StratifiedEstimate",
+    "StratumCell",
+    "StratumOutcomes",
+    "estimate_difference",
+    "evaluate_claims",
+    "neyman_allocation",
+    "profile_fault_space",
+    "render_claims",
+    "run_adaptive_campaign",
+    "run_adaptive_suite",
+    "stratified_estimate",
+    "two_proportion_diff",
+]

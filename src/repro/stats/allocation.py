@@ -1,0 +1,60 @@
+"""Neyman-style batch allocation across strata.
+
+Optimal (variance-minimizing) allocation for a stratified mean puts
+``n_h`` proportional to ``w_h * s_h`` where ``s_h`` is the stratum's
+outcome standard deviation.  We use the Jeffreys-smoothed rate for
+``s_h`` so strata that have only ever produced one outcome (all-unACE)
+keep a small nonzero score instead of being starved forever, and an
+0.5 prior for strata with no trials yet, so seeding happens naturally.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .estimators import StratumCell
+
+
+def neyman_allocation(cells: list[StratumCell], batch: int,
+                      *, floor: int = 0) -> dict[str, int]:
+    """Split ``batch`` trials across strata, Neyman-proportionally.
+
+    ``floor`` pre-assigns that many trials to every stratum (when the
+    batch is large enough) before the proportional split; the first
+    batch of a campaign uses it to seed every stratum.  Rounding is
+    largest-remainder, with ties broken by key order, so the result is
+    deterministic and sums exactly to ``batch``.
+    """
+    if batch < 0:
+        raise ValueError(f"negative batch: {batch}")
+    if not cells or batch == 0:
+        return {c.key: 0 for c in cells}
+    alloc = {c.key: 0 for c in cells}
+    remaining = batch
+    if floor > 0 and batch >= floor * len(cells):
+        for c in cells:
+            alloc[c.key] = floor
+        remaining -= floor * len(cells)
+    if remaining == 0:
+        return alloc
+    scores = {}
+    for c in cells:
+        spread = 0.5 if c.trials == 0 else math.sqrt(
+            c.smoothed * (1 - c.smoothed))
+        scores[c.key] = c.weight * spread
+    total = sum(scores.values())
+    if total <= 0:
+        # No variance signal at all: spread uniformly.
+        scores = {c.key: 1.0 for c in cells}
+        total = float(len(cells))
+    shares = {key: remaining * score / total
+              for key, score in scores.items()}
+    base = {key: int(share) for key, share in shares.items()}
+    leftover = remaining - sum(base.values())
+    by_remainder = sorted(shares,
+                          key=lambda key: (base[key] - shares[key], key))
+    for key in by_remainder[:leftover]:
+        base[key] += 1
+    for key, extra in base.items():
+        alloc[key] += extra
+    return alloc

@@ -1,0 +1,446 @@
+"""Sequential adaptive campaign runner: batches until the CI is tight.
+
+The fixed-count campaign (`run_campaign`) spends the same 250 trials
+on a noisy NOFT cell as on an all-unACE SWIFT-R cell.  The runner here
+makes trial count a function of *confidence* instead: it schedules
+batches of trials, allocates each batch across fault-space strata by
+Neyman allocation (more trials where outcomes vary more), and stops as
+soon as the post-stratified estimate of the target metric reaches the
+requested CI half-width -- or a trial cap, whichever comes first.
+
+Execution reuses the existing machinery unchanged: every batch is a
+realized site list handed to :class:`~repro.faults.injector.CheckpointStore`
+(serial) or :func:`~repro.faults.parallel.run_parallel_campaign`
+(``jobs > 1``), which are bit-identical for a given site list.  All
+randomness lives in per-(arm, stratum) ``random.Random`` streams drawn
+in a fixed order, so the schedule -- and therefore the whole campaign
+-- is deterministic in ``seed`` and invariant in ``jobs``.
+
+A campaign measures one or more **arms** (binaries).  A single-arm run
+(:func:`run_adaptive_campaign`) targets one binary's rate; a suite run
+(:func:`run_adaptive_suite`) weights each benchmark arm equally,
+matching the suite-average scalars in Figure 8 (`mean of per-benchmark
+percentages`), and drives the *suite-level* interval to the target --
+which is what lets it beat the fixed per-cell budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from ..errors import SimulationError
+from ..faults.campaign import CampaignResult
+from ..faults.injector import CheckpointStore, fault_landed
+from ..faults.outcomes import Outcome, classify
+from ..faults.parallel import run_parallel_campaign
+from ..isa.program import Program
+from ..obs.campaign_log import CampaignLog
+from ..obs.metrics import registry as obs_registry
+from ..obs.spans import enabled as obs_enabled, span
+from ..sim.events import RunStatus
+from ..sim.machine import Machine
+from .allocation import neyman_allocation
+from .estimators import StratifiedEstimate, StratumCell, stratified_estimate
+from .space import FaultSpace, profile_fault_space
+
+#: Which outcomes count as a "success" for each target metric.
+METRIC_OUTCOMES: dict[str, frozenset[Outcome]] = {
+    "unace": frozenset({Outcome.UNACE}),
+    "sdc": frozenset({Outcome.SDC, Outcome.HANG}),
+    "segv": frozenset({Outcome.SEGV}),
+    "failure": frozenset({Outcome.SDC, Outcome.HANG, Outcome.SEGV}),
+    "detected": frozenset({Outcome.DETECTED}),
+}
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Stopping rule and schedule for an adaptive campaign.
+
+    ``ci_width`` is the target CI *half*-width as a proportion (0.025 =
+    2.5 percentage points).  The first batch is widened if necessary to
+    give every stratum ``seed_trials`` trials, so the post-stratified
+    estimate covers the whole population from batch one.
+    """
+
+    ci_width: float = 0.025
+    confidence: float = 0.95
+    metric: str = "unace"
+    batch_size: int = 96
+    seed_trials: int = 2
+    max_trials: int = 4000
+    profile_samples: int = 96
+    phases: int = 3
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRIC_OUTCOMES:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; "
+                f"pick one of {sorted(METRIC_OUTCOMES)}")
+        if not 0.0 < self.ci_width < 1.0:
+            raise ValueError(f"ci_width out of (0, 1): {self.ci_width}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"confidence out of (0, 1): {self.confidence}")
+        if self.batch_size <= 0 or self.max_trials <= 0:
+            raise ValueError("batch_size and max_trials must be positive")
+
+
+@dataclass(frozen=True)
+class StratumOutcomes:
+    """Per-stratum outcome counts for one arm (post-campaign)."""
+
+    key: str
+    weight: float              # population share within the arm
+    trials: int
+    outcomes: dict[str, int]   # Outcome.value -> count
+
+    def count(self, outcomes: frozenset[Outcome] | tuple[Outcome, ...]
+              ) -> int:
+        return sum(self.outcomes.get(o.value, 0) for o in outcomes)
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Telemetry for one scheduled batch."""
+
+    index: int
+    trials: int
+    total_trials: int
+    allocation: dict[str, int]
+    estimate: float
+    low: float
+    high: float
+    half_width: float
+    met: bool
+
+    def to_dict(self, context: dict | None = None) -> dict:
+        record = {"kind": "adaptive_batch"}
+        if context:
+            record.update(context)
+        record.update(
+            batch=self.index,
+            trials=self.trials,
+            total_trials=self.total_trials,
+            allocation={k: v for k, v in sorted(self.allocation.items())
+                        if v},
+            estimate=round(self.estimate, 6),
+            low=round(self.low, 6),
+            high=round(self.high, 6),
+            half_width=round(self.half_width, 6),
+            met=self.met,
+        )
+        return record
+
+
+@dataclass
+class AdaptiveResult:
+    """Everything an adaptive run produced."""
+
+    config: AdaptiveConfig
+    estimate: StratifiedEstimate
+    trials: int
+    target_met: bool
+    batches: list[BatchRecord]
+    cells: dict[str, StratumCell]
+    arm_results: dict[str, CampaignResult]
+    #: Per-arm, per-stratum outcome counts: the raw material for
+    #: post-stratified estimates of *any* outcome rate, not just the
+    #: metric the stopping rule targeted.
+    arm_strata: dict[str, list[StratumOutcomes]]
+
+    @property
+    def result(self) -> CampaignResult:
+        """The single arm's aggregate (single-arm campaigns only)."""
+        if len(self.arm_results) != 1:
+            raise ValueError(
+                "suite-level adaptive runs have per-arm results; "
+                "use .arm_results")
+        return next(iter(self.arm_results.values()))
+
+    def arm_estimate(self, arm: str,
+                     outcomes: frozenset[Outcome] | tuple[Outcome, ...],
+                     confidence: float | None = None) -> StratifiedEstimate:
+        """Post-stratified rate of an outcome set within one arm.
+
+        This -- not the arm's raw ``CampaignResult`` percentages -- is
+        the unbiased population estimate: adaptive allocation samples
+        high-variance strata more heavily, so raw per-trial fractions
+        over-represent them.
+        """
+        cells = [
+            StratumCell(key=s.key, weight=s.weight, trials=s.trials,
+                        successes=s.count(outcomes))
+            for s in self.arm_strata[arm]
+        ]
+        return stratified_estimate(
+            cells, confidence or self.config.confidence)
+
+    def suite_estimate(self,
+                       outcomes: frozenset[Outcome] | tuple[Outcome, ...],
+                       confidence: float | None = None
+                       ) -> StratifiedEstimate:
+        """Post-stratified suite-average rate of an outcome set
+        (arms weighted equally, as in the Figure 8 Average row)."""
+        weight = 1.0 / len(self.arm_strata)
+        cells = [
+            StratumCell(key=f"{arm}:{s.key}", weight=weight * s.weight,
+                        trials=s.trials, successes=s.count(outcomes))
+            for arm, strata in self.arm_strata.items()
+            for s in strata
+        ]
+        return stratified_estimate(
+            cells, confidence or self.config.confidence)
+
+    def batch_dicts(self, context: dict | None = None) -> list[dict]:
+        """Per-batch telemetry records for a JSONL sink."""
+        base = {
+            "metric": self.config.metric,
+            "target": self.config.ci_width,
+            "confidence": self.config.confidence,
+        }
+        if context:
+            base.update(context)
+        return [b.to_dict(base) for b in self.batches]
+
+    def describe_cells(self) -> list[dict]:
+        """Summary rows for the final per-stratum observations."""
+        return [
+            {"stratum": c.key, "weight": round(c.weight, 6),
+             "trials": c.trials, "successes": c.successes,
+             "rate": round(c.rate, 6)}
+            for c in sorted(self.cells.values(),
+                            key=lambda c: -c.weight)
+        ]
+
+
+class _Arm:
+    """One binary under measurement: checkpoints, fault space, counts."""
+
+    def __init__(self, name: str, machine: Machine, weight: float,
+                 config: AdaptiveConfig, seed: int,
+                 log: CampaignLog | None) -> None:
+        self.name = name
+        self.machine = machine
+        self.weight = weight
+        self.log = log
+        self.store = CheckpointStore(machine)
+        self.golden = self.store.build()
+        if self.golden.status is not RunStatus.EXITED:
+            raise SimulationError(
+                f"golden run of arm {name!r} did not complete cleanly: "
+                f"{self.golden.status}")
+        self.space: FaultSpace = profile_fault_space(
+            machine, self.golden.instructions,
+            samples=config.profile_samples, phases=config.phases)
+        # One RNG stream per stratum, drawn in sorted-key order each
+        # batch: the realized site lists depend only on (seed, arm,
+        # stratum, draws so far), never on jobs or batch boundaries of
+        # other strata.
+        self.rngs = {key: random.Random(f"{seed}:{name}:{key}")
+                     for key in self.space.strata}
+        self.result = CampaignResult(
+            golden_instructions=self.golden.instructions)
+        self.successes = METRIC_OUTCOMES[config.metric]
+        self.outcome_counts: dict[str, dict[Outcome, int]] = {
+            key: {} for key in self.space.strata}
+        self.next_trial = 0
+
+    def cell_key(self, stratum: str) -> str:
+        return f"{self.name}:{stratum}"
+
+    def cells(self) -> list[StratumCell]:
+        cells = []
+        for key in sorted(self.space.strata):
+            counts = self.outcome_counts[key]
+            cells.append(StratumCell(
+                key=self.cell_key(key),
+                weight=self.weight * self.space.weight(key),
+                trials=sum(counts.values()),
+                successes=sum(n for o, n in counts.items()
+                              if o in self.successes),
+            ))
+        return cells
+
+    def strata_outcomes(self) -> list[StratumOutcomes]:
+        return [
+            StratumOutcomes(
+                key=key,
+                weight=self.space.weight(key),
+                trials=sum(self.outcome_counts[key].values()),
+                outcomes={o.value: n for o, n
+                          in self.outcome_counts[key].items()},
+            )
+            for key in sorted(self.space.strata)
+        ]
+
+    def run_batch(self, allocation: dict[str, int], jobs: int) -> int:
+        """Realize and execute this arm's share of one batch."""
+        groups = [(key, count) for key, count
+                  in sorted(allocation.items()) if count > 0]
+        sites = []
+        for key, count in groups:
+            sites.extend(self.space.sample(key, self.rngs[key], count))
+        if not sites:
+            return 0
+        if jobs <= 1 or len(sites) < 2:
+            outcomes = self._run_serial(sites)
+        else:
+            outcomes = self._run_parallel(sites, jobs)
+        cursor = 0
+        for key, count in groups:
+            counts = self.outcome_counts[key]
+            for outcome in outcomes[cursor:cursor + count]:
+                counts[outcome] = counts.get(outcome, 0) + 1
+            cursor += count
+        return len(sites)
+
+    def _run_serial(self, sites) -> list[Outcome]:
+        outcomes = []
+        for site in sites:
+            faulty = self.store.run_with_fault(site)
+            outcome = classify(self.golden, faulty)
+            self.result.record(outcome, recovered=faulty.recoveries > 0,
+                               landed=fault_landed(site, faulty))
+            if self.log is not None:
+                self.log.record_trial(self.next_trial, site, outcome,
+                                      faulty)
+            self.next_trial += 1
+            outcomes.append(outcome)
+        return outcomes
+
+    def _run_parallel(self, sites, jobs: int) -> list[Outcome]:
+        # The shard runner is bit-identical per site list, so outcomes
+        # (recovered from its trial records) match the serial path.
+        scratch = CampaignLog()
+        shard_result = run_parallel_campaign(
+            self.machine.program, sites=sites, jobs=jobs,
+            machine=self.machine,
+            max_instructions=self.machine.max_instructions, log=scratch)
+        self.result = self.result.merged(shard_result)
+        outcomes = []
+        for record in scratch.records:
+            outcomes.append(Outcome(record.outcome))
+            if self.log is not None:
+                # Renumber shard-local trial indices into this arm's
+                # campaign-global sequence.
+                self.log.records.append(
+                    replace(record, trial=self.next_trial))
+            self.next_trial += 1
+        return outcomes
+
+
+def _run_engine(arms: list[_Arm], config: AdaptiveConfig,
+                jobs: int) -> AdaptiveResult:
+    def all_cells() -> list[StratumCell]:
+        cells = []
+        for arm in arms:
+            cells.extend(arm.cells())
+        return cells
+
+    n_cells = len(all_cells())
+    batches: list[BatchRecord] = []
+    total = 0
+    target_met = False
+    batch_index = 0
+    while total < config.max_trials:
+        budget = min(config.batch_size, config.max_trials - total)
+        if batch_index == 0:
+            # Widen the seeding batch so every stratum gets observed
+            # (within the cap): the post-stratified estimate then covers
+            # the full population from the first stopping check.
+            budget = min(max(budget, config.seed_trials * n_cells),
+                         config.max_trials)
+        cells = all_cells()
+        allocation = neyman_allocation(
+            cells, budget,
+            floor=config.seed_trials if batch_index == 0 else 0)
+        with span("adaptive.batch", batch=batch_index, trials=budget,
+                  metric=config.metric):
+            ran = 0
+            for arm in arms:
+                prefix = f"{arm.name}:"
+                arm_allocation = {
+                    key[len(prefix):]: count
+                    for key, count in allocation.items()
+                    if key.startswith(prefix)
+                }
+                ran += arm.run_batch(arm_allocation, jobs)
+        total += ran
+        cells = all_cells()
+        estimate = stratified_estimate(cells, config.confidence)
+        covered = all(c.trials > 0 for c in cells)
+        met = covered and estimate.half_width <= config.ci_width
+        batches.append(BatchRecord(
+            index=batch_index, trials=ran, total_trials=total,
+            allocation=allocation, estimate=estimate.value,
+            low=estimate.low, high=estimate.high,
+            half_width=estimate.half_width, met=met))
+        if obs_enabled():
+            registry = obs_registry()
+            registry.counter("adaptive.batches").inc()
+            registry.counter("adaptive.trials").inc(ran)
+        batch_index += 1
+        if met:
+            target_met = True
+            break
+        if ran == 0:  # allocation starved (cap smaller than strata)
+            break
+    final_cells = {c.key: c for c in all_cells()}
+    return AdaptiveResult(
+        config=config,
+        estimate=stratified_estimate(list(final_cells.values()),
+                                     config.confidence),
+        trials=total,
+        target_met=target_met,
+        batches=batches,
+        cells=final_cells,
+        arm_results={arm.name: arm.result for arm in arms},
+        arm_strata={arm.name: arm.strata_outcomes() for arm in arms},
+    )
+
+
+def run_adaptive_campaign(
+    program: Program,
+    *,
+    config: AdaptiveConfig | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    machine: Machine | None = None,
+    log: CampaignLog | None = None,
+    max_instructions: int = 10_000_000,
+    name: str = "campaign",
+) -> AdaptiveResult:
+    """Adaptively campaign one binary until the metric's CI is tight."""
+    config = config or AdaptiveConfig()
+    machine = machine or Machine(program, max_instructions=max_instructions)
+    arm = _Arm(name, machine, 1.0, config, seed, log)
+    return _run_engine([arm], config, jobs)
+
+
+def run_adaptive_suite(
+    machines: list[tuple[str, Machine]],
+    *,
+    config: AdaptiveConfig | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    logs: dict[str, CampaignLog] | None = None,
+) -> AdaptiveResult:
+    """Adaptively campaign a suite of binaries as equal-weight arms.
+
+    The target interval is on the suite-average rate (each benchmark
+    weighted ``1/B``, exactly the Figure 8 "Average" row), so easy
+    near-deterministic arms stop consuming trials as soon as their
+    contribution to the suite variance is negligible.
+    """
+    if not machines:
+        raise ValueError("adaptive suite needs at least one arm")
+    config = config or AdaptiveConfig()
+    weight = 1.0 / len(machines)
+    arms = [
+        _Arm(name, machine, weight, config, seed,
+             (logs or {}).get(name))
+        for name, machine in machines
+    ]
+    return _run_engine(arms, config, jobs)

@@ -1,0 +1,277 @@
+"""Fault-site space model: enumerate and stratify the SEU population.
+
+The population a campaign samples from is the full cross product
+
+    dynamic instruction (0 .. golden_instructions)
+      x injectable GPR   (31 registers; the stack pointer is excluded)
+      x bit              (0 .. 63)
+
+exactly as :func:`repro.faults.model.sample_fault_site` draws it.  This
+module partitions that population into strata so the sequential runner
+can (a) report post-stratified estimates and (b) steer trials toward
+the strata where outcomes actually vary.
+
+Strata are the cross product of three cheap-to-profile features:
+
+- **program phase** — which tercile (by default) of the dynamic
+  instruction stream the site falls in; early/mid/late phases of a
+  benchmark (setup, kernel, teardown) have very different fault
+  behaviour.
+- **opcode class** — memory / control / output / compute, classified
+  from the instruction the machine is about to execute at the profiled
+  pause point.  A flip landing just before a store or branch behaves
+  differently from one landing mid-arithmetic.
+- **register liveness** — whether the flipped register is *hot* (read
+  before being overwritten in the remainder of the current basic
+  block) at the profiled pause point.  Flips into dead registers are
+  overwhelmingly unACE; separating them out is the single biggest
+  variance win.
+
+Profiling pauses the golden run every ``stride`` dynamic instructions
+(a couple hundred pauses total) and records the features at each pause;
+every site in the following stride-long segment inherits them.  The
+features are an *approximation* (liveness is block-local and sampled,
+not exact per-instruction) — but stratification only needs features
+that correlate with outcomes, not exact ones: the estimators stay
+unbiased for any fixed partition because sampling is uniform *within*
+each stratum and strata are weighted by their exact population counts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from random import Random
+
+from ..faults.model import INJECTABLE_GPRS, FaultSite
+from ..isa.opcodes import OpKind
+from ..sim.machine import Machine
+
+PHASE_NAMES = ("early", "mid", "late")
+
+_MEMORY_KINDS = frozenset({OpKind.LOAD, OpKind.STORE, OpKind.FMEM})
+_CONTROL_KINDS = frozenset({OpKind.BRANCH, OpKind.JUMP, OpKind.CALL, OpKind.RET})
+
+
+def opcode_class(kind: OpKind | None) -> str:
+    """Collapse the ISA's opcode kinds into four campaign-level classes."""
+    if kind is None:
+        return "control"  # paused at a block boundary: fallthrough pending
+    if kind in _MEMORY_KINDS:
+        return "memory"
+    if kind in _CONTROL_KINDS:
+        return "control"
+    if kind is OpKind.IO:
+        return "output"
+    return "compute"
+
+
+@dataclass(frozen=True)
+class _Piece:
+    """A contiguous run of dynamic instructions x a register subset.
+
+    ``sites = (end - start) * len(regs) * bits`` -- pieces are the unit
+    the within-stratum uniform sampler indexes into.
+    """
+
+    start: int
+    end: int
+    regs: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One cell of the fault-space partition."""
+
+    key: str
+    sites: int
+    pieces: tuple[_Piece, ...]
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """Profiled features for one stride of the dynamic stream."""
+
+    start: int
+    opclass: str
+    hot_regs: frozenset[int]
+
+
+class FaultSpace:
+    """A stratified model of the dynamic fault-site population.
+
+    The strata exactly partition the population:
+    ``sum(s.sites for s in strata.values()) == population``.
+    """
+
+    def __init__(self, golden_instructions: int, segments: list[_Segment],
+                 phases: int, bits: int = 64) -> None:
+        if golden_instructions <= 0:
+            raise ValueError("fault space requires a non-empty golden run")
+        self.golden_instructions = golden_instructions
+        self.bits = bits
+        self.phases = phases
+        self._segments = segments
+        self._stride = (segments[1].start - segments[0].start
+                        if len(segments) > 1 else golden_instructions)
+        self.population = golden_instructions * len(INJECTABLE_GPRS) * bits
+        self.strata = self._build_strata()
+        # Per-stratum cumulative piece site counts, for uniform sampling.
+        self._cumulative: dict[str, list[int]] = {}
+        for key, stratum in self.strata.items():
+            cum, total = [], 0
+            for piece in stratum.pieces:
+                total += (piece.end - piece.start) * len(piece.regs) * bits
+                cum.append(total)
+            self._cumulative[key] = cum
+
+    # ------------------------------------------------------------ construction
+    def _phase_of(self, dynamic_index: int) -> int:
+        return min(self.phases - 1,
+                   dynamic_index * self.phases // self.golden_instructions)
+
+    def _phase_name(self, phase: int) -> str:
+        if self.phases == len(PHASE_NAMES):
+            return PHASE_NAMES[phase]
+        return f"p{phase}"
+
+    def _build_strata(self) -> dict[str, Stratum]:
+        injectable = tuple(sorted(INJECTABLE_GPRS))
+        pieces: dict[str, list[_Piece]] = {}
+        n = len(self._segments)
+        for i, seg in enumerate(self._segments):
+            end = (self._segments[i + 1].start if i + 1 < n
+                   else self.golden_instructions)
+            start = seg.start
+            # Split the segment at phase boundaries so each sub-range
+            # maps to exactly one (phase, opclass, liveness) stratum.
+            while start < end:
+                phase = self._phase_of(start)
+                # First index past this phase (phase p covers indices with
+                # idx*phases//N == p, i.e. idx < ceil((p+1)*N/phases)).
+                boundary = -(-(phase + 1) * self.golden_instructions
+                             // self.phases)
+                stop = min(end, max(start + 1, boundary))
+                hot = tuple(r for r in injectable if r in seg.hot_regs)
+                cold = tuple(r for r in injectable if r not in seg.hot_regs)
+                for liveness, regs in (("live", hot), ("rest", cold)):
+                    if not regs:
+                        continue
+                    key = f"{self._phase_name(phase)}/{seg.opclass}/{liveness}"
+                    pieces.setdefault(key, []).append(
+                        _Piece(start, stop, regs))
+                start = stop
+        strata = {}
+        for key in sorted(pieces):
+            sites = sum((p.end - p.start) * len(p.regs) * self.bits
+                        for p in pieces[key])
+            strata[key] = Stratum(key, sites, tuple(pieces[key]))
+        return strata
+
+    # ---------------------------------------------------------------- queries
+    def weight(self, key: str) -> float:
+        """Population share of a stratum."""
+        return self.strata[key].sites / self.population
+
+    def stratum_of(self, site: FaultSite) -> str:
+        """The stratum key a concrete fault site belongs to."""
+        if not 0 <= site.dynamic_index < self.golden_instructions:
+            raise ValueError(
+                f"site at dynamic index {site.dynamic_index} outside "
+                f"golden run of {self.golden_instructions}")
+        seg_idx = min(site.dynamic_index // self._stride,
+                      len(self._segments) - 1)
+        seg = self._segments[seg_idx]
+        phase = self._phase_of(site.dynamic_index)
+        liveness = "live" if site.reg_index in seg.hot_regs else "rest"
+        return f"{self._phase_name(phase)}/{seg.opclass}/{liveness}"
+
+    def sample(self, key: str, rng: Random, count: int) -> list[FaultSite]:
+        """Draw ``count`` sites uniformly from one stratum."""
+        stratum = self.strata[key]
+        cum = self._cumulative[key]
+        sites = []
+        for _ in range(count):
+            r = rng.randrange(stratum.sites)
+            idx = bisect_right(cum, r)
+            piece = stratum.pieces[idx]
+            offset = r - (cum[idx - 1] if idx else 0)
+            per_index = len(piece.regs) * self.bits
+            dynamic_index = piece.start + offset // per_index
+            rem = offset % per_index
+            sites.append(FaultSite(
+                dynamic_index=dynamic_index,
+                reg_index=piece.regs[rem // self.bits],
+                bit=rem % self.bits,
+            ))
+        return sites
+
+    def describe(self) -> list[dict]:
+        """Summary rows (key, weight, sites) sorted by population share."""
+        return [
+            {"stratum": key, "sites": s.sites,
+             "weight": round(self.weight(key), 6)}
+            for key, s in sorted(self.strata.items(),
+                                 key=lambda kv: -kv[1].sites)
+        ]
+
+
+def _hot_registers(machine: Machine) -> frozenset[int]:
+    """Injectable GPRs read before being overwritten in the rest of the
+    current basic block (block-local read-before-write walk)."""
+    location = machine.current_location()
+    if location is None:
+        return frozenset()
+    func_name, block_name, index = location
+    block = machine.program.function(func_name).block(block_name)
+    decided: dict[int, bool] = {}
+    for instr in block.instructions[index:]:
+        for reg in instr.source_registers():
+            if reg.is_physical and not reg.is_float:
+                decided.setdefault(reg.index, True)
+        dest = instr.dest
+        if dest is not None and dest.is_physical and not dest.is_float:
+            decided.setdefault(dest.index, False)
+    injectable = set(INJECTABLE_GPRS)
+    return frozenset(r for r, hot in decided.items()
+                     if hot and r in injectable)
+
+
+def profile_fault_space(
+    machine: Machine,
+    golden_instructions: int | None = None,
+    *,
+    samples: int = 192,
+    phases: int = 3,
+) -> FaultSpace:
+    """Profile a golden run and build the stratified fault space.
+
+    Replays the golden run, pausing every ``golden // samples``
+    instructions to record the opcode class about to execute and the
+    hot-register set.  Leaves ``machine`` at end-of-run; callers that
+    need a pristine machine should ``reset()`` it.
+    """
+    if golden_instructions is None:
+        machine.reset()
+        golden_instructions = machine.run().instructions
+    if golden_instructions <= 0:
+        raise ValueError("cannot profile an empty golden run")
+    stride = max(1, -(-golden_instructions // max(1, samples)))
+    segments: list[_Segment] = []
+    machine.reset()
+    start = 0
+    while start < golden_instructions:
+        result = machine.run(start)
+        if result.instructions != start:
+            break  # golden run ended early; remaining strides are empty
+        instr = machine.next_instruction()
+        segments.append(_Segment(
+            start=start,
+            opclass=opcode_class(instr.op.kind if instr else None),
+            hot_regs=_hot_registers(machine),
+        ))
+        start += stride
+    machine.run()
+    if not segments:
+        raise ValueError("golden run produced no profile segments")
+    return FaultSpace(golden_instructions, segments, phases)

@@ -396,6 +396,63 @@ def test_cli_campaign_telemetry_and_summarize(tmp_path, capsys):
     assert "Spans" in summary
 
 
+def test_cli_gzip_telemetry_round_trip(tmp_path, capsys):
+    """Every obs subcommand accepts .jsonl.gz transparently."""
+    source = tmp_path / "demo.c"
+    source.write_text(
+        "int main() { int t = 1; "
+        "for (int i = 1; i < 8; i++) { t = t * i + 1; } print(t); "
+        "return 0; }"
+    )
+    path = str(tmp_path / "t.jsonl.gz")
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--trials", "30", "--taint",
+                     "--telemetry", path]) == 0
+    capsys.readouterr()
+    # Really gzip on disk, and the reader sees the same records.
+    with open(path, "rb") as handle:
+        assert handle.read(2) == b"\x1f\x8b"
+    records = read_jsonl(path)
+    assert sum(1 for r in records if r["kind"] == "trial") == 30
+
+    assert cli_main(["obs", "summarize", path]) == 0
+    summary = capsys.readouterr().out
+    assert "Campaign outcomes (30 trials" in summary
+
+    assert cli_main(["obs", "forensics", path]) == 0
+    assert "mechanism" in capsys.readouterr().out
+
+    trace_out = str(tmp_path / "t.trace.json")
+    assert cli_main(["obs", "export-trace", path, "-o", trace_out]) == 0
+    with open(trace_out) as handle:
+        assert json.load(handle)["traceEvents"]
+
+
+def test_cli_adaptive_campaign_telemetry(tmp_path, capsys):
+    source = tmp_path / "demo.c"
+    source.write_text(
+        "int main() { int t = 0; "
+        "for (int i = 0; i < 9; i++) { t += i * i; } print(t); "
+        "return 0; }"
+    )
+    path = str(tmp_path / "t.jsonl")
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--adaptive", "--ci-width", "8",
+                     "--telemetry", path]) == 0
+    out = capsys.readouterr().out
+    assert "estimate" in out and "half-width" in out
+    records = read_jsonl(path)
+    batches = [r for r in records if r["kind"] == "adaptive_batch"]
+    assert batches
+    assert batches[-1]["met"] is True
+    trials = [r for r in records if r["kind"] == "trial"]
+    assert len(trials) == batches[-1]["total_trials"]
+
+    assert cli_main(["obs", "summarize", path]) == 0
+    summary = capsys.readouterr().out
+    assert "Adaptive batches" in summary
+
+
 def test_cli_fig9_telemetry(tmp_path, capsys):
     path = str(tmp_path / "fig9.jsonl")
     assert cli_main(["fig9", "--benchmarks", "crc32",
