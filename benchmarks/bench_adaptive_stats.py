@@ -13,113 +13,40 @@ target on the same machines.  The headline assertion: the adaptive
 campaigns reach the target with fewer total trials than the fixed
 grid spends.
 
+The measurement lives in :func:`repro.bench.benches.
+measure_adaptive_suite`, shared with ``python -m repro bench
+--suite adaptive``; this test adds the correctness bars and writes
+the committed baseline.
+
 Run:  pytest benchmarks/bench_adaptive_stats.py -s
-Exports: BENCH_adaptive.json (one JSONL record per arm + summary).
+Exports: BENCH_adaptive.json (versioned: bench_meta header, one
+record per arm, summary).
 """
 
-import time
-
-from repro.eval.pipeline import PipelineOptions, prepare_machine
-from repro.eval.reliability import suite_estimate
-from repro.faults import Outcome, run_campaign
-from repro.obs.sink import JsonlSink
-from repro.stats import AdaptiveConfig, run_adaptive_suite
-from repro.transform import Technique
-from repro.workloads.suite import MICRO_BENCHMARKS
+from repro.bench import measure_adaptive_suite, write_bench
 
 SEED = 2006
-FIXED_TRIALS = 250          # the paper's per-cell budget
 CI_WIDTH = 0.025            # 2.5-point target half-width (suite unACE)
-MAX_TRIALS = 2500           # adaptive per-technique cap
-TECHNIQUES = (Technique.NOFT, Technique.TRUMP, Technique.SWIFTR)
-
-
-class _Grid:
-    """Just enough of ReliabilityResults for suite_estimate()."""
-
-    def __init__(self, benchmarks, confidence=0.95):
-        self.benchmarks = list(benchmarks)
-        self.confidence = confidence
-        self.cells = {}
-
-    def cell(self, bench, technique):
-        return self.cells[(bench, technique)]
 
 
 def test_adaptive_vs_fixed_budget():
-    options = PipelineOptions()
-    grid = _Grid(MICRO_BENCHMARKS)
-    records = []
-    fixed_total = adaptive_total = 0
-    unace = lambda c: c.count(Outcome.UNACE)
-
     print()
-    for technique in TECHNIQUES:
-        machines = [(bench, prepare_machine(bench, technique, options))
-                    for bench in MICRO_BENCHMARKS]
+    records, details = measure_adaptive_suite(ci_width=CI_WIDTH,
+                                              seed=SEED, verbose=True)
 
-        start = time.perf_counter()
-        for bench, machine in machines:
-            campaign = run_campaign(machine.program, trials=FIXED_TRIALS,
-                                    seed=SEED, machine=machine)
-            grid.cells[(bench, technique)] = campaign
-            fixed_total += campaign.trials
-        fixed_elapsed = time.perf_counter() - start
-        fixed_est = suite_estimate(grid, technique, unace)
-
-        config = AdaptiveConfig(ci_width=CI_WIDTH, metric="unace",
-                                max_trials=MAX_TRIALS)
-        machines = [(bench, prepare_machine(bench, technique, options))
-                    for bench in MICRO_BENCHMARKS]
-        start = time.perf_counter()
-        adaptive = run_adaptive_suite(machines, config=config, seed=SEED)
-        adaptive_elapsed = time.perf_counter() - start
-        adaptive_total += adaptive.trials
-
-        fixed_spent = FIXED_TRIALS * len(MICRO_BENCHMARKS)
-        print(f"  {technique.label:10s} fixed {fixed_spent:5d} trials "
-              f"-> hw {100*fixed_est.half_width:4.2f} pts "
-              f"({fixed_elapsed:5.1f}s) | adaptive {adaptive.trials:5d} "
-              f"trials -> hw {100*adaptive.estimate.half_width:4.2f} pts "
-              f"in {len(adaptive.batches)} batches "
-              f"({adaptive_elapsed:5.1f}s)")
-
-        records.append({
-            "kind": "adaptive_bench",
-            "technique": technique.value,
-            "benchmarks": list(MICRO_BENCHMARKS),
-            "target_half_width": CI_WIDTH,
-            "fixed_trials": fixed_spent,
-            "fixed_half_width": round(fixed_est.half_width, 6),
-            "fixed_seconds": round(fixed_elapsed, 3),
-            "adaptive_trials": adaptive.trials,
-            "adaptive_half_width": round(adaptive.estimate.half_width, 6),
-            "adaptive_batches": len(adaptive.batches),
-            "adaptive_target_met": adaptive.target_met,
-            "adaptive_seconds": round(adaptive_elapsed, 3),
-        })
-
+    for technique, (adaptive, _fixed_est) in details.items():
+        if technique == "totals":
+            continue
         # Each adaptive campaign reaches the paper-precision target
         # without exhausting its cap.
         assert adaptive.target_met
         assert adaptive.estimate.half_width <= CI_WIDTH
 
-    savings = 100.0 * (1 - adaptive_total / fixed_total)
-    print(f"  total: adaptive {adaptive_total} vs fixed {fixed_total} "
-          f"trials ({savings:.1f}% fewer)")
-
-    with JsonlSink("BENCH_adaptive.json") as sink:
-        sink.write_many(records)
-        sink.write({
-            "kind": "adaptive_bench_summary",
-            "seed": SEED,
-            "target_half_width": CI_WIDTH,
-            "fixed_trials_total": fixed_total,
-            "adaptive_trials_total": adaptive_total,
-            "trials_saved_percent": round(savings, 1),
-        })
+    write_bench("BENCH_adaptive.json", "adaptive_stats", records,
+                seed=SEED)
 
     # The acceptance bar: adaptive stopping reaches the 2.5-point
     # suite unACE half-width on fewer total trials than the fixed
     # 250-per-cell baseline spends across the same grid.
+    adaptive_total, fixed_total = details["totals"]
     assert adaptive_total < fixed_total

@@ -2,135 +2,65 @@
 
 Campaigns are the evaluation's dominant cost (250 trials per
 (benchmark, technique) cell in the paper).  This bench measures
-trials/sec on a SWIFT-R-protected workload along the two optimisation
+trials/sec on a SWIFT-R-protected workload along the optimisation
 axes this repo implements -- golden-run checkpointing with
 convergence fast-forward, and ``--jobs`` process sharding -- and
-asserts that all three paths agree bit-for-bit while the checkpointed
+asserts that all the paths agree bit-for-bit while the checkpointed
 path is at least 2x the serial reference on a single core.
 
-It also measures taint tracing's cost envelope: a ``--taint`` campaign
-pays for per-instruction dataflow tracking, but a campaign *without*
-taint must be unaffected by the feature existing -- the run loop's
-single ``machine.taint is None`` check is the entire overhead, and the
-re-measured taint-off datapoint holds that within noise.
+It also measures two observability features' cost envelopes:
+
+* taint tracing: a ``--taint`` campaign pays for per-instruction
+  dataflow tracking, but a campaign *without* taint must be
+  unaffected by the feature existing -- the run loop's single
+  ``machine.taint is None`` check is the entire overhead, and the
+  re-measured taint-off datapoint holds that within noise;
+* the simulator profiler: a profiled campaign runs the mirrored
+  counting loop, and its throughput is recorded as a first-class
+  datapoint (``profile_overhead`` in the summary) so the bench gate
+  can catch the profiler getting expensive.
+
+The measurement itself lives in :func:`repro.bench.benches.
+measure_campaign_suite`, shared with ``python -m repro bench``; this
+test adds the correctness bars and writes the committed baseline.
 
 Run:  pytest benchmarks/bench_campaign_throughput.py -s
-Exports: BENCH_campaign.json (one JSONL record per mode + summary).
+Exports: BENCH_campaign.json (versioned: bench_meta header, one
+record per mode, summary).
 """
-
-import os
-import time
 
 from conftest import TRIALS
 
-from repro.eval.pipeline import prepare
-from repro.faults import run_campaign, run_parallel_campaign
-from repro.obs.campaign_log import CampaignLog
-from repro.obs.sink import JsonlSink
-from repro.sim import Machine
-from repro.transform import Technique
+from repro.bench import measure_campaign_suite, write_bench
 
-WORKLOAD = "crc32"
 SEED = 2006
-MAX_INSTRUCTIONS = 20_000_000
-
-
-def _timed(label, runner):
-    start = time.perf_counter()
-    result = runner()
-    elapsed = time.perf_counter() - start
-    record = {
-        "kind": "campaign_bench",
-        "mode": label,
-        "workload": WORKLOAD,
-        "technique": Technique.SWIFTR.value,
-        "trials": result.trials,
-        "seconds": round(elapsed, 4),
-        "trials_per_sec": round(result.trials / elapsed, 2),
-    }
-    print(f"  {label:12s} {elapsed:7.3f}s  "
-          f"{record['trials_per_sec']:8.1f} trials/s")
-    return result, record
 
 
 def test_campaign_throughput():
-    program = prepare(WORKLOAD, Technique.SWIFTR)
-    # Fresh machine per mode so no mode benefits from a warmed peer;
-    # compilation happens outside the timed region either way.
-    machines = [Machine(program, max_instructions=MAX_INSTRUCTIONS)
-                for _ in range(4)]
-    jobs = max(2, min(4, os.cpu_count() or 1))
-
     print()
-    serial, serial_rec = _timed(
-        "serial",
-        lambda: run_campaign(program, trials=TRIALS, seed=SEED,
-                             machine=machines[0], checkpoint_interval=0),
-    )
-    checkpointed, ckpt_rec = _timed(
-        "checkpointed",
-        lambda: run_campaign(program, trials=TRIALS, seed=SEED,
-                             machine=machines[1]),
-    )
-    parallel, par_rec = _timed(
-        f"parallel x{jobs}",
-        lambda: run_parallel_campaign(program, trials=TRIALS, seed=SEED,
-                                      jobs=jobs,
-                                      max_instructions=MAX_INSTRUCTIONS),
-    )
-    par_rec["mode"] = "parallel"
-    par_rec["jobs"] = jobs
-    taint_log = CampaignLog()
-    tainted, taint_rec = _timed(
-        "taint-on",
-        lambda: run_campaign(program, trials=TRIALS, seed=SEED,
-                             machine=machines[2], log=taint_log,
-                             taint=True),
-    )
-    taint_rec["mode"] = "taint"
-    recheck, recheck_rec = _timed(
-        "taint-off",
-        lambda: run_campaign(program, trials=TRIALS, seed=SEED,
-                             machine=machines[3]),
-    )
-    recheck_rec["mode"] = "taint_off_recheck"
+    records, results = measure_campaign_suite(trials=TRIALS, seed=SEED,
+                                              verbose=True)
 
     # All paths are the same campaign, bit for bit -- including under
-    # taint tracing, which observes trials without perturbing them.
-    assert checkpointed == serial
-    assert parallel == serial
-    assert tainted.counts == serial.counts
-    assert tainted.recoveries == serial.recoveries
-    assert recheck == checkpointed
+    # taint tracing and profiling, which observe trials without
+    # perturbing them.
+    serial = results["serial"]
+    assert results["checkpointed"] == serial
+    assert results["parallel"] == serial
+    assert results["taint"].counts == serial.counts
+    assert results["taint"].recoveries == serial.recoveries
+    assert results["taint_off_recheck"] == results["checkpointed"]
+    assert results["profile"] == serial
 
-    ckpt_speedup = ckpt_rec["trials_per_sec"] / serial_rec["trials_per_sec"]
-    par_speedup = par_rec["trials_per_sec"] / serial_rec["trials_per_sec"]
-    taint_ratio = (recheck_rec["trials_per_sec"]
-                   / ckpt_rec["trials_per_sec"])
-    print(f"  checkpointing speedup: {ckpt_speedup:.2f}x "
-          f"(parallel x{jobs}: {par_speedup:.2f}x, "
-          f"taint-off recheck {taint_ratio:.2f}x of first measure)")
+    write_bench("BENCH_campaign.json", "campaign_throughput", records,
+                seed=SEED, trials=TRIALS)
 
-    with JsonlSink("BENCH_campaign.json") as sink:
-        sink.write_many([serial_rec, ckpt_rec, par_rec,
-                         taint_rec, recheck_rec])
-        sink.write({
-            "kind": "campaign_bench_summary",
-            "workload": WORKLOAD,
-            "technique": Technique.SWIFTR.value,
-            "trials": TRIALS,
-            "seed": SEED,
-            "checkpoint_speedup": round(ckpt_speedup, 2),
-            "parallel_jobs": jobs,
-            "parallel_speedup": round(par_speedup, 2),
-            "taint_on_trials_per_sec": taint_rec["trials_per_sec"],
-            "taint_off_ratio": round(taint_ratio, 2),
-        })
-
+    summary = records[-1]
+    assert summary["kind"] == "campaign_bench_summary"
     # The acceptance bar: checkpointing alone (one core, no pool)
     # at least doubles campaign throughput on a protected workload.
-    assert ckpt_speedup >= 2.0
+    assert summary["checkpoint_speedup"] >= 2.0
     # Taint-off throughput is unchanged by the feature within noise:
     # the recheck ran after a full taint-on campaign on this machine,
     # so drift here would mean tracing state leaked into the fast path.
-    assert 0.5 <= taint_ratio <= 2.0
+    assert 0.5 <= summary["taint_off_ratio"] <= 2.0

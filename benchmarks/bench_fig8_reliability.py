@@ -10,37 +10,39 @@ Run:  pytest benchmarks/bench_fig8_reliability.py --benchmark-only -s
 
 from conftest import TRIALS
 
+from repro.bench import write_bench
 from repro.eval import evaluate_reliability, render_figure8
-from repro.obs.sink import JsonlSink
 from repro.transform import Technique
 from repro.workloads import PAPER_BENCHMARKS
 
 
 def _export(results, path="BENCH_fig8.json"):
     """Machine-readable trajectory record, one JSONL line per cell."""
-    with JsonlSink(path) as sink:
-        for bench in results.benchmarks:
-            for tech in results.techniques:
-                cell = results.cell(bench, tech)
-                sink.write({
-                    "kind": "fig8_cell", "benchmark": bench,
-                    "technique": tech.value, "trials": cell.trials,
-                    "unace_percent": round(cell.unace_percent, 4),
-                    "segv_percent": round(cell.segv_percent, 4),
-                    "sdc_percent": round(cell.sdc_percent, 4),
-                    "detected_percent": round(cell.detected_percent, 4),
-                    "recoveries": cell.recoveries,
-                })
-        sink.write({
-            "kind": "fig8_summary", "trials": results.trials,
-            "seed": results.seed,
-            "mean_unace": {t.value: round(results.mean_unace(t), 4)
-                           for t in results.techniques},
-            "failure_reduction": {
-                t.value: round(results.failure_reduction(t), 4)
-                for t in results.techniques if t is not Technique.NOFT
-            },
-        })
+    records = []
+    for bench in results.benchmarks:
+        for tech in results.techniques:
+            cell = results.cell(bench, tech)
+            records.append({
+                "kind": "fig8_cell", "benchmark": bench,
+                "technique": tech.value, "trials": cell.trials,
+                "unace_percent": round(cell.unace_percent, 4),
+                "segv_percent": round(cell.segv_percent, 4),
+                "sdc_percent": round(cell.sdc_percent, 4),
+                "detected_percent": round(cell.detected_percent, 4),
+                "recoveries": cell.recoveries,
+            })
+    records.append({
+        "kind": "fig8_summary", "trials": results.trials,
+        "seed": results.seed,
+        "mean_unace": {t.value: round(results.mean_unace(t), 4)
+                       for t in results.techniques},
+        "failure_reduction": {
+            t.value: round(results.failure_reduction(t), 4)
+            for t in results.techniques if t is not Technique.NOFT
+        },
+    })
+    write_bench(path, "fig8_reliability", records, seed=results.seed,
+                trials=results.trials)
 
 
 def test_figure8(benchmark):

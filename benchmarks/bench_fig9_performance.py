@@ -8,31 +8,32 @@ factors; paper geomeans: 1.00 / 1.36 / 1.37 / 1.98 / 1.99).
 Run:  pytest benchmarks/bench_fig9_performance.py --benchmark-only -s
 """
 
+from repro.bench import write_bench
 from repro.eval import evaluate_performance, render_figure9
-from repro.obs.sink import JsonlSink
 from repro.transform import Technique
 
 
 def _export(results, path="BENCH_fig9.json"):
     """Machine-readable trajectory record, one JSONL line per cell."""
-    with JsonlSink(path) as sink:
-        for bench in results.benchmarks:
-            for tech in results.techniques:
-                cell = results.cells[(bench, tech)]
-                sink.write({
-                    "kind": "fig9_cell", "benchmark": bench,
-                    "technique": tech.value, "cycles": cell.cycles,
-                    "instructions": cell.instructions,
-                    "ipc": round(cell.ipc, 4),
-                    "normalized": round(results.normalized(bench, tech), 4),
-                })
-        sink.write({
-            "kind": "fig9_summary",
-            "geomean_normalized": {
-                t.value: round(results.geomean_normalized(t), 4)
-                for t in results.techniques
-            },
-        })
+    records = []
+    for bench in results.benchmarks:
+        for tech in results.techniques:
+            cell = results.cells[(bench, tech)]
+            records.append({
+                "kind": "fig9_cell", "benchmark": bench,
+                "technique": tech.value, "cycles": cell.cycles,
+                "instructions": cell.instructions,
+                "ipc": round(cell.ipc, 4),
+                "normalized": round(results.normalized(bench, tech), 4),
+            })
+    records.append({
+        "kind": "fig9_summary",
+        "geomean_normalized": {
+            t.value: round(results.geomean_normalized(t), 4)
+            for t in results.techniques
+        },
+    })
+    write_bench(path, "fig9_performance", records)
 
 
 def test_figure9(benchmark):

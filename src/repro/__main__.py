@@ -11,6 +11,9 @@ Subcommands:
 * ``obs summarize PATH``         render a JSONL telemetry file
 * ``obs forensics PATH``         per-trial fault-mechanism report
 * ``obs export-trace PATH``      convert telemetry to a Chrome trace
+* ``obs hotspots``               simulator hot-block / JIT-candidate report
+* ``obs top PATH``               follow a live campaign's heartbeat file
+* ``bench``                      run the bench suite, gate vs baselines
 
 ``campaign``, ``fig8``, and ``fig9`` accept ``--telemetry PATH`` to
 export spans, metrics, and per-trial records as JSONL (see
@@ -21,6 +24,13 @@ fault's dataflow for escape forensics, and
 ``--adaptive --ci-width W --confidence C`` to run stratified
 sequential campaigns that stop at a target confidence-interval width
 instead of a fixed trial count (see ``docs/statistics.md``).
+
+``campaign``, ``fig8``, and ``fig9`` also accept ``--profile PATH``
+to collect a deterministic per-block execution profile of the
+simulator itself, and ``campaign`` accepts ``--progress`` (live TTY
+status line) and ``--heartbeat PATH`` (stream heartbeat records a
+second terminal can follow with ``obs top PATH``); see
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -87,15 +97,34 @@ def _cmd_campaign(args) -> int:
                                    "technique": args.technique.value,
                                    "seed": args.seed})
     binary = _load_binary(args.file, args.technique)
+    monitor = None
+    if args.progress or args.heartbeat:
+        from .obs import CampaignMonitor
+
+        monitor = CampaignMonitor(heartbeat_path=args.heartbeat or None,
+                                  progress=args.progress)
     if args.adaptive:
         if args.taint:
             print("error: --taint is not supported with --adaptive",
                   file=sys.stderr)
             return 2
-        return _adaptive_campaign(args, binary, sink, log)
+        if args.profile:
+            print("error: --profile is not supported with --adaptive "
+                  "(batch sizes depend on observed variance, so the "
+                  "profile would not be reproducible)", file=sys.stderr)
+            return 2
+        return _adaptive_campaign(args, binary, sink, log, monitor)
+    profile = None
+    if args.profile:
+        from .obs import SimProfiler
+
+        profile = SimProfiler()
     campaign = run_parallel_campaign(binary, trials=args.trials,
                                      seed=args.seed, jobs=args.jobs,
-                                     log=log, taint=args.taint)
+                                     log=log, taint=args.taint,
+                                     profile=profile, monitor=monitor)
+    if monitor is not None:
+        monitor.finish()
     print(f"technique : {args.technique.label}")
     print(f"trials    : {campaign.trials}")
     print(f"unACE     : {campaign.unace_percent:6.2f}%")
@@ -104,6 +133,14 @@ def _cmd_campaign(args) -> int:
     if campaign.detected_percent:
         print(f"detected  : {campaign.detected_percent:6.2f}%")
     print(f"repairs   : fired in {campaign.recoveries} runs")
+    print(f"elapsed   : {campaign.elapsed_seconds:6.2f}s "
+          f"({campaign.trials_per_sec:.1f} trials/s)")
+    if profile is not None:
+        _write_profile(args.profile, profile,
+                       context={"source": args.file,
+                                "technique": args.technique.value,
+                                "seed": args.seed,
+                                "trials": campaign.trials})
     if sink is not None:
         sink.write_many(log.to_dicts())
         sink.write_many(log.taint_dicts())
@@ -121,7 +158,20 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
-def _adaptive_campaign(args, binary, sink, log) -> int:
+def _write_profile(path: str, profile, context: dict) -> None:
+    """Export profiler records and say how to render them."""
+    from .obs import JsonlSink
+
+    records = profile.to_records(context=context)
+    with JsonlSink(path) as sink:
+        sink.write_many(records)
+    blocks = sum(1 for r in records if r.get("kind") == "block_profile")
+    print(f"profile   : {profile.total_instructions} instructions over "
+          f"{blocks} blocks -> {path}")
+    print(f"            (render with: python -m repro obs hotspots {path})")
+
+
+def _adaptive_campaign(args, binary, sink, log, monitor=None) -> int:
     """Run one adaptive campaign and print its stopping summary."""
     from .eval.telemetry import export_session
     from .stats import AdaptiveConfig, run_adaptive_campaign
@@ -131,7 +181,10 @@ def _adaptive_campaign(args, binary, sink, log) -> int:
                             metric=args.metric,
                             max_trials=args.max_trials)
     result = run_adaptive_campaign(binary, config=config, seed=args.seed,
-                                   jobs=args.jobs, log=log)
+                                   jobs=args.jobs, log=log,
+                                   monitor=monitor)
+    if monitor is not None:
+        monitor.finish()
     campaign = result.result
     estimate = result.estimate
     print(f"technique : {args.technique.label}")
@@ -150,6 +203,9 @@ def _adaptive_campaign(args, binary, sink, log) -> int:
     if campaign.detected_percent:
         print(f"detected  : {campaign.detected_percent:6.2f}%")
     print(f"repairs   : fired in {campaign.recoveries} runs")
+    if campaign.elapsed_seconds > 0:
+        print(f"elapsed   : {campaign.elapsed_seconds:6.2f}s "
+              f"({campaign.trials_per_sec:.1f} trials/s)")
     if sink is not None:
         sink.write_many(log.to_dicts())
         sink.write_many(result.batch_dicts(
@@ -183,6 +239,47 @@ def _cmd_obs_export_trace(args) -> int:
     return 0
 
 
+def _cmd_obs_hotspots(args) -> int:
+    from .obs import read_jsonl, render_hotspots
+
+    if args.path:
+        records = read_jsonl(args.path)
+    elif args.workload:
+        # Direct mode: run a profiled campaign on a suite workload and
+        # render immediately, no intermediate file.
+        from .eval.pipeline import prepare
+        from .faults import run_parallel_campaign
+        from .obs import SimProfiler
+
+        profile = SimProfiler()
+        program = prepare(args.workload, args.technique)
+        run_parallel_campaign(program, trials=args.trials, seed=args.seed,
+                              jobs=args.jobs, profile=profile)
+        records = profile.to_records(
+            context={"workload": args.workload,
+                     "technique": args.technique.value,
+                     "seed": args.seed, "trials": args.trials})
+    else:
+        print("error: give a profile JSONL path or --workload NAME",
+              file=sys.stderr)
+        return 2
+    print(render_hotspots(records, top=args.top))
+    return 0
+
+
+def _cmd_obs_top(args) -> int:
+    from .obs import follow_path
+
+    return follow_path(args.path, interval=args.interval,
+                       iterations=1 if args.once else None)
+
+
+def _cmd_bench(args) -> int:
+    from .bench.cli import run_bench
+
+    return run_bench(args)
+
+
 def _cmd_profile(args) -> int:
     from .eval.profile import profile_workload, render_profile
 
@@ -212,6 +309,8 @@ def _cmd_fig8(args) -> int:
         argv += ["--telemetry", args.telemetry]
     if args.taint:
         argv += ["--taint"]
+    if args.profile:
+        argv += ["--profile", args.profile]
     if args.adaptive:
         argv += ["--adaptive", "--ci-width", str(args.ci_width),
                  "--confidence", str(args.confidence),
@@ -227,6 +326,8 @@ def _cmd_fig9(args) -> int:
     argv = ["--benchmarks", args.benchmarks] if args.benchmarks else []
     if args.telemetry:
         argv += ["--telemetry", args.telemetry]
+    if args.profile:
+        argv += ["--profile", args.profile]
     return performance.main(argv)
 
 
@@ -266,6 +367,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--taint", action="store_true",
                             help="trace each fault's dataflow and print "
                                  "the per-mechanism forensics report")
+    p_campaign.add_argument("--profile", default="",
+                            help="collect a deterministic simulator "
+                                 "execution profile and write it here "
+                                 "(render with 'obs hotspots')")
+    p_campaign.add_argument("--progress", action="store_true",
+                            help="live progress line on stderr "
+                                 "(trials/s, ETA)")
+    p_campaign.add_argument("--heartbeat", default="",
+                            help="stream heartbeat records to this JSONL "
+                                 "file; follow with 'obs top PATH'")
     p_campaign.add_argument("--adaptive", action="store_true",
                             help="stratified sequential campaign: stop "
                                  "when the metric's CI half-width hits "
@@ -303,6 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write per-trial JSONL telemetry here")
     p_fig8.add_argument("--taint", action="store_true",
                         help="trace fault dataflow into the telemetry file")
+    p_fig8.add_argument("--profile", default="",
+                        help="write a per-cell simulator execution "
+                             "profile here (render with 'obs hotspots')")
     p_fig8.add_argument("--adaptive", action="store_true",
                         help="adaptive suite-level campaigns per technique "
                              "instead of a fixed per-cell budget")
@@ -322,6 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig9.add_argument("--benchmarks", default="")
     p_fig9.add_argument("--telemetry", default="",
                         help="write per-cell JSONL telemetry here")
+    p_fig9.add_argument("--profile", default="",
+                        help="profile one functional golden run per cell "
+                             "and write the records here")
     p_fig9.set_defaults(func=_cmd_fig9)
 
     p_obs = sub.add_parser("obs", help="telemetry tooling")
@@ -342,6 +459,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("-o", "--output", default="",
                          help="output path (default: PATH.trace.json)")
     p_trace.set_defaults(func=_cmd_obs_export_trace)
+    p_hotspots = obs_sub.add_parser(
+        "hotspots",
+        help="rank simulator basic blocks by dynamic instruction share "
+             "(the JIT-candidate report)")
+    p_hotspots.add_argument("path", nargs="?", default="",
+                            help="profile JSONL written by --profile "
+                                 "(omit to profile --workload directly)")
+    p_hotspots.add_argument("--workload", default="",
+                            choices=["", *sorted(WORKLOADS)],
+                            help="profile a campaign on this suite "
+                                 "workload instead of reading a file")
+    p_hotspots.add_argument("-t", "--technique", type=_technique,
+                            default=Technique.SWIFTR)
+    p_hotspots.add_argument("--trials", type=int, default=60)
+    p_hotspots.add_argument("--seed", type=int, default=0)
+    p_hotspots.add_argument("--jobs", type=int, default=1)
+    p_hotspots.add_argument("--top", type=int, default=10,
+                            help="blocks to show (default 10)")
+    p_hotspots.set_defaults(func=_cmd_obs_hotspots)
+    p_top = obs_sub.add_parser(
+        "top",
+        help="follow a running campaign's heartbeat file "
+             "(shards, trials/s, CI trajectory, ETA)")
+    p_top.add_argument("path")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes (default 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit")
+    p_top.set_defaults(func=_cmd_obs_top)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the bench suite; with --check, gate against the "
+             "committed BENCH_*.json baselines")
+    from .bench.cli import add_bench_arguments
+
+    add_bench_arguments(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -1,0 +1,79 @@
+"""The versioned bench-file schema shared by every ``BENCH_*`` writer.
+
+A bench file is JSONL like every other telemetry artifact, but its
+first record is a ``bench_meta`` header that makes the file
+self-describing and comparable across machines and commits:
+
+* ``schema_version`` -- bumped when record shapes change, so readers
+  can refuse (or adapt to) files they do not understand;
+* ``bench`` -- which suite produced the file;
+* ``seed``/``trials`` -- the determinism knobs the numbers depend on;
+* ``environment`` -- interpreter and host fingerprint, because
+  trials/sec on a laptop and in CI are different universes and a
+  regression gate must be able to tell them apart.
+
+:func:`read_bench` also accepts *legacy* files (no ``bench_meta``
+record), returning ``None`` for the meta -- ``obs summarize`` and the
+``bench --check`` gate keep working on baselines committed before the
+schema existed.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+from ..obs.sink import JsonlSink, read_jsonl
+
+#: Bump when the shape of bench records changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def environment_fingerprint() -> dict:
+    """Where these numbers came from (host + interpreter)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def meta_record(bench: str, seed: int | None = None, **extra) -> dict:
+    record = {
+        "kind": "bench_meta",
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "environment": environment_fingerprint(),
+    }
+    if seed is not None:
+        record["seed"] = seed
+    record.update(extra)
+    return record
+
+
+def write_bench(path: str, bench: str, records: list[dict],
+                seed: int | None = None, **extra) -> None:
+    """Write a bench file: ``bench_meta`` header, then the records."""
+    with JsonlSink(path) as sink:
+        sink.write(meta_record(bench, seed=seed, **extra))
+        sink.write_many(records)
+
+
+def read_bench(path: str) -> tuple[dict | None, list[dict]]:
+    """Load a bench file as ``(meta, records)``.
+
+    Legacy files written before the schema existed have no
+    ``bench_meta`` record; they load with ``meta=None`` and every
+    record intact, so old committed baselines stay comparable.
+    """
+    records = read_jsonl(path)
+    meta = None
+    body = []
+    for record in records:
+        if record.get("kind") == "bench_meta" and meta is None:
+            meta = record
+        else:
+            body.append(record)
+    return meta, body

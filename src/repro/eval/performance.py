@@ -55,17 +55,24 @@ def evaluate_performance(
     timing: TimingConfig | None = None,
     progress: bool = False,
     telemetry: JsonlSink | None = None,
+    profile_path: str = "",
 ) -> PerformanceResults:
     """Time every (benchmark, technique) pair, fault-free.
 
     With a ``telemetry`` sink, each cell's cycle-level result is
     exported as one ``kind="timing"`` JSONL record.
+
+    ``profile_path`` additionally runs one *functional* golden
+    execution per cell with a simulator profiler attached (the timing
+    model has its own cycle loop and is not instrumented) and writes
+    the per-cell records to one JSONL file for ``obs hotspots``.
     """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
     options = options or PipelineOptions()
     results = PerformanceResults(benchmarks=benchmarks,
                                  techniques=techniques)
+    profile_records: list[dict] = []
     for bench in benchmarks:
         for tech in techniques:
             with span("fig9.cell", benchmark=bench,
@@ -73,6 +80,17 @@ def evaluate_performance(
                 machine = prepare_machine(bench, tech, options)
                 cell = TimingSimulator(machine, timing).run()
             results.cells[(bench, tech)] = cell
+            if profile_path:
+                from ..obs.profile import SimProfiler
+
+                profiler = SimProfiler()
+                golden = prepare_machine(bench, tech, options)
+                golden.profile = profiler
+                golden.run()
+                profile_records.extend(profiler.to_records(
+                    context={"benchmark": bench,
+                             "technique": tech.value,
+                             "run": "golden"}))
             if telemetry is not None:
                 telemetry.write({
                     "kind": "timing", "benchmark": bench,
@@ -89,6 +107,12 @@ def evaluate_performance(
                     f"({cell_span.elapsed:.1f}s)",
                     file=sys.stderr,
                 )
+    if profile_path:
+        with JsonlSink(profile_path) as profile_sink:
+            profile_sink.write_many(profile_records)
+        if progress:
+            print(f"  wrote {len(profile_records)} profile records to "
+                  f"{profile_path}", file=sys.stderr)
     return results
 
 
@@ -123,12 +147,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated subset of benchmarks")
     parser.add_argument("--telemetry", type=str, default="",
                         help="write per-cell JSONL telemetry to this path")
+    parser.add_argument("--profile", type=str, default="",
+                        help="profile one functional golden run per cell "
+                             "into this JSONL path (for `obs hotspots`)")
     args = parser.parse_args(argv)
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(PAPER_BENCHMARKS))
     sink = open_sink(args.telemetry)
     results = evaluate_performance(benchmarks=benchmarks, progress=True,
-                                   telemetry=sink)
+                                   telemetry=sink,
+                                   profile_path=args.profile)
     export_session(sink)
     print(render_figure9(results))
     return 0

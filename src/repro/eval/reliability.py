@@ -99,6 +99,7 @@ def evaluate_reliability(
     ci_width: float = 0.025,
     confidence: float = 0.95,
     max_trials: int = 4000,
+    profile_path: str = "",
 ) -> ReliabilityResults:
     """Run the full Figure-8 campaign grid.
 
@@ -118,6 +119,12 @@ def evaluate_reliability(
     (a proportion) at ``confidence``, or ``max_trials`` for that
     technique.  ``trials`` is ignored; per-cell trial counts then
     vary by how noisy each cell is.
+
+    ``profile_path`` attaches a fresh simulator profiler to every
+    cell's campaign and writes the per-cell records (tagged with
+    benchmark and technique) to one JSONL file; ``obs hotspots``
+    merges them into a grid-wide hot-block ranking.  Not supported
+    with ``adaptive`` (batch sizes depend on observed variance).
     """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
@@ -130,10 +137,14 @@ def evaluate_reliability(
         if taint:
             raise ValueError("taint tracing is not supported with "
                              "adaptive campaigns")
+        if profile_path:
+            raise ValueError("profiling is not supported with "
+                             "adaptive campaigns")
         _evaluate_adaptive(results, options, telemetry=telemetry,
                            progress=progress, jobs=jobs,
                            ci_width=ci_width, max_trials=max_trials)
         return results
+    profile_records: list[dict] = []
     for bench in benchmarks:
         for tech in techniques:
             log = None
@@ -141,19 +152,30 @@ def evaluate_reliability(
                 log = CampaignLog(context={"benchmark": bench,
                                            "technique": tech.value,
                                            "seed": seed})
+            profiler = None
+            if profile_path:
+                from ..obs.profile import SimProfiler
+
+                profiler = SimProfiler()
             with span("fig8.cell", benchmark=bench,
                       technique=tech.value) as cell_span:
                 machine = prepare_machine(bench, tech, options)
                 if jobs == 1:
                     campaign = run_campaign(machine.program, trials=trials,
                                             seed=seed, machine=machine,
-                                            log=log, taint=taint)
+                                            log=log, taint=taint,
+                                            profile=profiler)
                 else:
                     campaign = run_parallel_campaign(
                         machine.program, trials=trials, seed=seed,
                         jobs=jobs, machine=machine, log=log, taint=taint,
+                        profile=profiler,
                     )
             results.cells[(bench, tech)] = campaign
+            if profiler is not None:
+                profile_records.extend(profiler.to_records(
+                    context={"benchmark": bench,
+                             "technique": tech.value, "seed": seed}))
             if telemetry is not None:
                 telemetry.write_many(log.to_dicts())
                 telemetry.write_many(log.taint_dicts())
@@ -166,6 +188,12 @@ def evaluate_reliability(
                     f"({cell_span.elapsed:.1f}s)",
                     file=sys.stderr,
                 )
+    if profile_path:
+        with JsonlSink(profile_path) as profile_sink:
+            profile_sink.write_many(profile_records)
+        if progress:
+            print(f"  wrote {len(profile_records)} profile records to "
+                  f"{profile_path}", file=sys.stderr)
     return results
 
 
@@ -373,6 +401,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--taint", action="store_true",
                         help="trace fault dataflow into the telemetry file "
                              "(for `obs forensics`)")
+    parser.add_argument("--profile", type=str, default="",
+                        help="write per-cell simulator execution profiles "
+                             "to this JSONL path (for `obs hotspots`)")
     parser.add_argument("--adaptive", action="store_true",
                         help="replace the fixed per-cell budget with "
                              "sequential suite-level campaigns that stop "
@@ -390,6 +421,10 @@ def main(argv: list[str] | None = None) -> int:
                              "intervals and the claims table (implied by "
                              "--adaptive)")
     args = parser.parse_args(argv)
+    if args.adaptive and args.profile:
+        print("error: --profile is not supported with --adaptive",
+              file=sys.stderr)
+        return 2
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(PAPER_BENCHMARKS))
     sink = open_sink(args.telemetry)
@@ -400,7 +435,8 @@ def main(argv: list[str] | None = None) -> int:
                                    adaptive=args.adaptive,
                                    ci_width=args.ci_width / 100.0,
                                    confidence=args.confidence,
-                                   max_trials=args.max_trials)
+                                   max_trials=args.max_trials,
+                                   profile_path=args.profile)
     export_session(sink)
     confidence = (args.confidence if (args.ci or args.adaptive) else None)
     print(render_figure8(results, confidence=confidence))

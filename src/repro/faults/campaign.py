@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..errors import SimulationError
 from ..isa.program import Program
@@ -43,6 +44,18 @@ class CampaignResult:
     #: unACE bucket contains trials that never actually injected --
     #: auditable here instead of silently inflating reliability.
     never_landed: int = 0
+    #: Wall-clock seconds the campaign spent (golden run + trials,
+    #: excluding machine compilation).  Excluded from equality: the
+    #: serial/parallel/checkpointed paths must compare equal on their
+    #: *results* even though their timings differ.
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def trials_per_sec(self) -> float:
+        """Campaign throughput (0.0 when no timing was recorded)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.trials / self.elapsed_seconds
 
     def record(self, outcome: Outcome, recovered: bool,
                landed: bool = True) -> None:
@@ -100,6 +113,10 @@ class CampaignResult:
                                  or other.golden_instructions),
             recoveries=self.recoveries + other.recoveries,
             never_landed=self.never_landed + other.never_landed,
+            # Shards ran concurrently, so summing their elapsed times
+            # over-counts wall clock; the parallel runner overwrites
+            # this with its own wall measurement after the last merge.
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
         )
         for outcome in Outcome:
             total = self.count(outcome) + other.count(outcome)
@@ -138,6 +155,8 @@ def run_campaign(
     checkpoint_interval: int | None = None,
     taint: bool = False,
     sites: list[FaultSite] | None = None,
+    profile=None,
+    monitor=None,
 ) -> CampaignResult:
     """Run a full SEU campaign against ``program``.
 
@@ -166,11 +185,35 @@ def run_campaign(
     (see :mod:`repro.sim.taint`) and appends the per-trial event
     streams to ``log.taint_records``; it requires a ``log`` and does
     not change trial outcomes, only observes them.
+
+    Pass a :class:`~repro.obs.profile.SimProfiler` as ``profile`` to
+    collect per-block execution counts over the golden run and every
+    trial (execution stays bit-identical), and a
+    :class:`~repro.obs.monitor.CampaignMonitor` as ``monitor`` to
+    stream per-trial progress (heartbeat records and/or a TTY line).
     """
     if taint and log is None:
         raise ValueError("taint tracing requires a CampaignLog "
                          "to receive the event streams")
     machine = machine or Machine(program, max_instructions=max_instructions)
+    if profile is not None:
+        machine.profile = profile
+    start_time = perf_counter()
+    try:
+        result = _run_campaign_trials(
+            machine, trials=trials, seed=seed, log=log,
+            checkpoint_interval=checkpoint_interval, taint=taint,
+            sites=sites, profile=profile, monitor=monitor)
+    finally:
+        if profile is not None:
+            machine.profile = None
+    result.elapsed_seconds = perf_counter() - start_time
+    return result
+
+
+def _run_campaign_trials(machine, *, trials, seed, log,
+                         checkpoint_interval, taint, sites,
+                         profile, monitor) -> CampaignResult:
     if checkpoint_interval == 0:
         # Full replay-from-zero per trial: the original, slow path,
         # kept for benchmarking and as the equivalence reference.
@@ -194,8 +237,10 @@ def run_campaign(
                  for _ in range(trials)]
     trials = len(sites)
     log_start = len(log.records) if log is not None else 0
+    if monitor is not None:
+        monitor.begin(total=trials)
     with span("campaign", trials=trials, seed=seed):
-        if log is None:
+        if log is None and monitor is None:
             for site in sites:
                 faulty = run_trial(site)
                 result.record(classify(golden, faulty),
@@ -208,9 +253,16 @@ def run_campaign(
                 outcome = classify(golden, faulty)
                 result.record(outcome, recovered=faulty.recoveries > 0,
                               landed=fault_landed(site, faulty))
-                log.record_trial(trial, site, outcome, faulty)
-                if tracker is not None:
-                    log.record_taint(trial, tracker)
+                if log is not None:
+                    log.record_trial(trial, site, outcome, faulty)
+                    if tracker is not None:
+                        log.record_taint(trial, tracker)
+                if monitor is not None:
+                    monitor.trial_done(trial + 1)
+    if profile is not None and taint:
+        # Traced instructions execute in the taint loop, invisible to
+        # the profiler; record how many trials that affected.
+        profile.taint_trials += trials
     record_campaign_metrics(result, log, log_start)
     return result
 

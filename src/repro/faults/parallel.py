@@ -39,6 +39,7 @@ import os
 import random
 import shutil
 import tempfile
+from time import perf_counter
 
 from ..errors import SimulationError
 from ..isa.program import Program
@@ -60,7 +61,9 @@ _WORKER: dict = {}
 
 def _init_worker(program: Program, max_instructions: int,
                  checkpoint_interval: int | None,
-                 taint: bool = False) -> None:
+                 taint: bool = False, profile: bool = False,
+                 heartbeat_path: str | None = None,
+                 heartbeat_every: int = 16) -> None:
     """Compile this worker's machine and build its golden checkpoints."""
     # Workers must not inherit an enabled span collector from a
     # telemetry-on parent: their spans could never be drained.
@@ -75,35 +78,68 @@ def _init_worker(program: Program, max_instructions: int,
     _WORKER["store"] = store
     _WORKER["golden"] = golden
     _WORKER["taint"] = taint
+    _WORKER["profile"] = profile
+    _WORKER["heartbeat_path"] = heartbeat_path
+    _WORKER["heartbeat_every"] = heartbeat_every
 
 
-def _run_shard(task: tuple[int, list[FaultSite], str | None]
-               ) -> CampaignResult:
+def _run_shard(task: tuple[int, int, list[FaultSite], str | None]
+               ) -> tuple[CampaignResult, object]:
     """Run one contiguous shard of trials in a worker process.
 
-    ``task`` is ``(first_trial_index, sites, record_path)``; with a
-    ``record_path`` the worker streams one JSON line per trial into it
-    (flat :class:`TrialRecord` dicts, no context -- the parent owns the
-    campaign context).  With taint tracing on, the shard's taint
-    records follow its trial records in the same file, each stream in
-    trial order, distinguishable by their ``kind`` field.
+    ``task`` is ``(shard_index, first_trial_index, sites,
+    record_path)``; with a ``record_path`` the worker streams one JSON
+    line per trial into it (flat :class:`TrialRecord` dicts, no
+    context -- the parent owns the campaign context).  With taint
+    tracing on, the shard's taint records follow its trial records in
+    the same file, each stream in trial order, distinguishable by
+    their ``kind`` field.
+
+    Returns ``(result, profiler_or_None)``.  A fresh profiler is
+    created per *shard* (not per worker: a pool process can run
+    several shards, and per-worker state would double-merge); the
+    worker's own golden/checkpoint run happened in the initializer and
+    is deliberately outside the profiled region, so merged shard
+    profiles equal the serial campaign's counts exactly.
     """
-    first_trial, sites, record_path = task
+    shard_index, first_trial, sites, record_path = task
     store: CheckpointStore = _WORKER["store"]
     golden = _WORKER["golden"]
     taint = _WORKER.get("taint", False) and record_path is not None
+    heartbeat_path = _WORKER.get("heartbeat_path")
+    heartbeat = None
+    if heartbeat_path is not None:
+        from ..obs.monitor import HeartbeatWriter
+
+        heartbeat = HeartbeatWriter(
+            heartbeat_path, role="shard", shard=shard_index,
+            total=len(sites), every=_WORKER.get("heartbeat_every", 16))
+    profiler = None
+    if _WORKER.get("profile"):
+        from ..obs.profile import SimProfiler
+
+        profiler = SimProfiler()
+        store.machine.profile = profiler
     result = CampaignResult(golden_instructions=golden.instructions)
     log = CampaignLog() if record_path is not None else None
-    for offset, site in enumerate(sites):
-        tracker = TaintTracker() if taint else None
-        faulty = store.run_with_fault(site, taint=tracker)
-        outcome = classify(golden, faulty)
-        result.record(outcome, recovered=faulty.recoveries > 0,
-                      landed=fault_landed(site, faulty))
-        if log is not None:
-            log.record_trial(first_trial + offset, site, outcome, faulty)
-            if tracker is not None:
-                log.record_taint(first_trial + offset, tracker)
+    try:
+        for offset, site in enumerate(sites):
+            tracker = TaintTracker() if taint else None
+            faulty = store.run_with_fault(site, taint=tracker)
+            outcome = classify(golden, faulty)
+            result.record(outcome, recovered=faulty.recoveries > 0,
+                          landed=fault_landed(site, faulty))
+            if log is not None:
+                log.record_trial(first_trial + offset, site, outcome, faulty)
+                if tracker is not None:
+                    log.record_taint(first_trial + offset, tracker)
+            if heartbeat is not None:
+                heartbeat.tick(offset + 1)
+    finally:
+        if profiler is not None:
+            store.machine.profile = None
+    if profiler is not None and taint:
+        profiler.taint_trials += len(sites)
     if log is not None:
         with open(record_path, "w") as handle:
             for record in log.to_dicts():
@@ -112,7 +148,7 @@ def _run_shard(task: tuple[int, list[FaultSite], str | None]
             for record in log.taint_dicts():
                 handle.write(json.dumps(record, separators=(",", ":")))
                 handle.write("\n")
-    return result
+    return result, profiler
 
 
 def _partition(sites: list[FaultSite], shards: int
@@ -153,6 +189,8 @@ def run_parallel_campaign(
     checkpoint_interval: int | None = None,
     taint: bool = False,
     sites: list[FaultSite] | None = None,
+    profile=None,
+    monitor=None,
 ) -> CampaignResult:
     """Run an SEU campaign sharded over ``jobs`` worker processes.
 
@@ -173,6 +211,14 @@ def run_parallel_campaign(
     runner does; shard merge keeps both the trial records and the taint
     streams in trial order, so the concatenated ``log`` matches
     ``jobs=1`` record for record.
+
+    A ``profile`` :class:`~repro.obs.profile.SimProfiler` receives the
+    parent's golden run plus every shard's trials (worker golden runs
+    are excluded), making the merged counts bit-identical to a serial
+    profiled campaign.  A ``monitor``
+    :class:`~repro.obs.monitor.CampaignMonitor` gets per-shard
+    heartbeats streamed into its heartbeat file by the workers, and
+    the parent polls them into the live progress line while waiting.
     """
     if taint and log is None:
         raise ValueError("taint tracing requires a CampaignLog "
@@ -186,9 +232,19 @@ def run_parallel_campaign(
                             max_instructions=max_instructions,
                             machine=machine, log=log,
                             checkpoint_interval=checkpoint_interval,
-                            taint=taint, sites=sites)
+                            taint=taint, sites=sites,
+                            profile=profile, monitor=monitor)
+    start_time = perf_counter()
     machine = machine or Machine(program, max_instructions=max_instructions)
-    golden = golden_run(machine)
+    if profile is not None:
+        # Profile the parent's golden run (once -- the serial path also
+        # counts the golden stream exactly once).
+        machine.profile = profile
+    try:
+        golden = golden_run(machine)
+    finally:
+        if profile is not None:
+            machine.profile = None
     if golden.status is not RunStatus.EXITED:
         raise SimulationError(
             f"golden run did not complete cleanly: {golden.status}"
@@ -199,6 +255,10 @@ def run_parallel_campaign(
                  for _ in range(trials)]
     jobs = min(jobs, len(sites))
     chunks = _partition(sites, jobs)
+    heartbeat_path = monitor.heartbeat_path if monitor is not None else None
+    heartbeat_every = monitor.every if monitor is not None else 16
+    if monitor is not None:
+        monitor.begin(total=trials)
 
     shard_dir = None
     record_paths: list[str | None] = [None] * len(chunks)
@@ -215,12 +275,22 @@ def run_parallel_campaign(
                 processes=jobs,
                 initializer=_init_worker,
                 initargs=(program, max_instructions, checkpoint_interval,
-                          taint),
+                          taint, profile is not None, heartbeat_path,
+                          heartbeat_every),
             ) as pool:
-                tasks = [(lo, shard, path) for (lo, shard), path
-                         in zip(chunks, record_paths)]
-                for shard_result in pool.map(_run_shard, tasks):
+                tasks = [(i, lo, shard, path)
+                         for i, ((lo, shard), path)
+                         in enumerate(zip(chunks, record_paths))]
+                async_result = pool.map_async(_run_shard, tasks)
+                while not async_result.ready():
+                    async_result.wait(
+                        monitor.refresh if monitor is not None else 1.0)
+                    if monitor is not None:
+                        monitor.shard_progress()
+                for shard_result, shard_profile in async_result.get():
                     result = result.merged(shard_result)
+                    if profile is not None and shard_profile is not None:
+                        profile.merge_from(shard_profile)
         if log is not None:
             # Shards are read in trial order; within each file the trial
             # records precede the taint records, so appending by kind
@@ -238,4 +308,9 @@ def run_parallel_campaign(
         if shard_dir is not None:
             shutil.rmtree(shard_dir, ignore_errors=True)
     record_campaign_metrics(result, log, log_start)
+    # Shard-summed elapsed over-counts concurrent work; report the
+    # parent's wall clock for the whole sharded campaign instead.
+    result.elapsed_seconds = perf_counter() - start_time
+    if monitor is not None:
+        monitor.trial_done(result.trials)
     return result

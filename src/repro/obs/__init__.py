@@ -13,7 +13,11 @@ The measurement substrate for everything quantitative in this repo:
 * :mod:`repro.obs.forensics` -- per-trial fault-mechanism
   classification over taint streams (``obs forensics``);
 * :mod:`repro.obs.trace_export` -- Chrome ``trace_event`` JSON export
-  (``obs export-trace``).
+  (``obs export-trace``);
+* :mod:`repro.obs.profile` -- deterministic simulator hot-path
+  profiler and JIT-candidate report (``obs hotspots``);
+* :mod:`repro.obs.monitor` -- live campaign heartbeats, progress
+  lines, and the ``obs top`` follow mode.
 
 Telemetry is **off by default**; ``enable()`` switches on span and
 metric collection process-wide.  Campaign logs are explicit (pass a
@@ -44,23 +48,36 @@ from .metrics import (
     MetricsRegistry,
     registry,
 )
+from .monitor import (
+    CampaignMonitor,
+    HeartbeatWriter,
+    aggregate_shards,
+    follow_path,
+    read_heartbeats,
+    render_top,
+)
+from .profile import SimProfiler, render_hotspots
 from .sink import JsonlSink, read_jsonl, summarize_path, summarize_records
 from .spans import Span, SpanCollector, collector, disable, enable, enabled, span
 from .trace_export import chrome_trace, export_trace, export_trace_path
 
 __all__ = [
     "CampaignLog",
+    "CampaignMonitor",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "ForensicsReport",
     "Gauge",
+    "HeartbeatWriter",
     "Histogram",
     "JsonlSink",
     "MECHANISMS",
     "MetricsRegistry",
+    "SimProfiler",
     "Span",
     "SpanCollector",
     "TrialRecord",
+    "aggregate_shards",
     "analyze_log",
     "analyze_records",
     "chrome_trace",
@@ -73,10 +90,14 @@ __all__ = [
     "enabled",
     "export_trace",
     "export_trace_path",
+    "follow_path",
     "forensics_path",
+    "read_heartbeats",
     "read_jsonl",
     "registry",
+    "render_hotspots",
     "render_report",
+    "render_top",
     "span",
     "summarize_path",
     "summarize_records",

@@ -1,0 +1,381 @@
+"""Live campaign monitoring: heartbeats, progress lines, ``obs top``.
+
+Long campaigns (thousands of trials, sharded over processes, or
+adaptive runs whose length is data-dependent) were a black box until
+they finished.  This module makes them observable while running:
+
+* :class:`HeartbeatWriter` appends small ``{"kind": "heartbeat"}``
+  records to a JSONL file.  Each emit is one open-append-close of a
+  single line, so any number of shard workers can write the same file
+  concurrently without coordination, and a reader can tail the file
+  while it grows.  ``.gz`` paths append one gzip member per line,
+  which :func:`read_heartbeats` (and Python's gzip reader generally)
+  reads back transparently.
+* :class:`CampaignMonitor` is the producer-side facade: the campaign
+  runners call ``begin``/``trial_done``/``adaptive_batch`` and it
+  renders a live TTY progress line (``--progress``) and/or emits
+  heartbeats (``--heartbeat PATH``) -- trials/sec, ETA, per-shard
+  completion, CI-width trajectory.
+* :func:`render_top` and :func:`follow_path` are the consumer side:
+  ``python -m repro obs top PATH`` re-reads a growing heartbeat or
+  telemetry file and renders overall progress, a per-shard table with
+  straggler detection, and the adaptive convergence trajectory.
+
+Heartbeats are observability, not results: campaign outcomes never
+depend on whether a monitor was attached.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import sys
+import time
+
+#: A shard whose completed fraction falls below this multiple of the
+#: furthest shard's fraction is flagged as a straggler.
+STRAGGLER_FRACTION = 0.5
+
+
+def _append_line(path: str, record: dict) -> None:
+    line = json.dumps(record, separators=(",", ":")) + "\n"
+    if str(path).endswith(".gz"):
+        with gzip.open(path, "at", encoding="utf-8") as handle:
+            handle.write(line)
+    else:
+        with open(path, "a") as handle:
+            handle.write(line)
+
+
+def read_heartbeats(path: str) -> list[dict]:
+    """Read a possibly *growing* JSONL file, skipping partial lines.
+
+    Unlike :func:`repro.obs.sink.read_jsonl`, a half-written trailing
+    line (the writer is mid-append) is silently dropped instead of
+    raising -- exactly what a live ``obs top`` needs.
+    """
+    opener = gzip.open if str(path).endswith(".gz") else open
+    records = []
+    try:
+        with opener(path, "rt") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue
+    except (OSError, EOFError):
+        return records
+    return records
+
+
+class HeartbeatWriter:
+    """Emit progress heartbeats for one producer (campaign or shard)."""
+
+    def __init__(self, path: str, role: str = "campaign",
+                 shard: int | None = None, total: int | None = None,
+                 every: int = 16) -> None:
+        self.path = path
+        self.role = role
+        self.shard = shard
+        self.total = total
+        self.every = max(int(every), 1)
+        self._start = time.perf_counter()
+        self._last_emit = None
+
+    def emit(self, completed: int, total: int | None = None,
+             **extra) -> None:
+        elapsed = time.perf_counter() - self._start
+        record = {
+            "kind": "heartbeat",
+            "role": self.role,
+            "ts": round(time.time(), 3),
+            "completed": completed,
+            "elapsed": round(elapsed, 4),
+        }
+        if self.shard is not None:
+            record["shard"] = self.shard
+        total = self.total if total is None else total
+        rate = completed / elapsed if elapsed > 0 else 0.0
+        record["trials_per_sec"] = round(rate, 2)
+        if total:
+            record["total"] = total
+            if rate > 0 and completed < total:
+                record["eta_seconds"] = round((total - completed) / rate, 1)
+        record.update(extra)
+        _append_line(self.path, record)
+        self._last_emit = completed
+
+    def tick(self, completed: int, total: int | None = None,
+             **extra) -> None:
+        """Emit if ``every`` trials passed since the last heartbeat
+        (always emits the first and the final one)."""
+        total = self.total if total is None else total
+        due = (self._last_emit is None
+               or completed - self._last_emit >= self.every
+               or (total is not None and completed >= total))
+        if due:
+            self.emit(completed, total, **extra)
+
+
+class CampaignMonitor:
+    """Producer-side progress: TTY line and/or heartbeat file.
+
+    ``progress=True`` renders a carriage-return status line to
+    ``stream`` (stderr by default); ``heartbeat_path`` additionally
+    streams heartbeat records.  Both are throttled to one update per
+    ``every`` trials.
+    """
+
+    def __init__(self, total: int | None = None,
+                 heartbeat_path: str | None = None,
+                 every: int = 16, progress: bool = False,
+                 stream=None, refresh: float = 1.0) -> None:
+        self.total = total
+        self.heartbeat_path = heartbeat_path or None
+        self.every = max(int(every), 1)
+        self.progress = progress
+        self.stream = stream if stream is not None else sys.stderr
+        self.refresh = refresh
+        self.writer = (HeartbeatWriter(self.heartbeat_path,
+                                       role="campaign", total=total,
+                                       every=self.every)
+                       if self.heartbeat_path else None)
+        self._start = time.perf_counter()
+        self._rendered = False
+        self._completed = 0
+
+    # ------------------------------------------------------------- producers
+    def begin(self, total: int | None = None) -> None:
+        if total is not None:
+            self.total = total
+            if self.writer is not None:
+                self.writer.total = total
+        self._start = time.perf_counter()
+        if self.writer is not None:
+            self.writer._start = self._start
+
+    def trial_done(self, completed: int) -> None:
+        self._completed = completed
+        if self.writer is not None:
+            self.writer.tick(completed, self.total)
+        if self.progress and (completed % self.every == 0
+                              or completed == self.total):
+            elapsed = time.perf_counter() - self._start
+            rate = completed / elapsed if elapsed > 0 else 0.0
+            text = f"trials {completed}"
+            if self.total:
+                text += f"/{self.total}"
+            text += f"  {rate:7.1f} trials/s"
+            if self.total and rate > 0 and completed < self.total:
+                text += f"  eta {(self.total - completed) / rate:6.1f}s"
+            self._render_line(text)
+
+    def adaptive_batch(self, *, batch: int, trials: int,
+                       total_trials: int, cap: int, estimate: float,
+                       half_width: float, target: float,
+                       met: bool) -> None:
+        """Progress of one adaptive batch: CI-width trajectory + a
+        shrinkage-based trial projection (half-width ~ 1/sqrt(n))."""
+        projected = None
+        if half_width > target > 0.0 and total_trials:
+            projected = min(
+                int(total_trials * (half_width / target) ** 2), cap)
+        if self.writer is not None:
+            extra = {
+                "batch": batch,
+                "estimate": round(estimate, 6),
+                "half_width": round(half_width, 6),
+                "target": round(target, 6),
+                "met": met,
+            }
+            if projected is not None:
+                extra["projected_trials"] = projected
+            writer = HeartbeatWriter(self.heartbeat_path, role="adaptive",
+                                     total=cap, every=1)
+            writer._start = self._start
+            writer.emit(total_trials, cap, **extra)
+        if self.progress:
+            text = (f"batch {batch}  trials {total_trials}/{cap}  "
+                    f"hw {100 * half_width:5.2f} pts "
+                    f"(target {100 * target:.2f})")
+            if projected is not None:
+                text += f"  projected ~{projected} trials"
+            if met:
+                text += "  target reached"
+            self._render_line(text)
+
+    def shard_progress(self) -> dict | None:
+        """Poll the heartbeat file for shard progress (parent side of a
+        parallel campaign) and render the aggregate."""
+        if self.heartbeat_path is None or not self.progress:
+            return None
+        summary = aggregate_shards(read_heartbeats(self.heartbeat_path))
+        if summary["shards"]:
+            text = (f"shards {summary['done_shards']}"
+                    f"/{summary['shards']}  "
+                    f"trials {summary['completed']}"
+                    f"/{summary['total'] or '?'}  "
+                    f"{summary['trials_per_sec']:7.1f} trials/s")
+            if summary["stragglers"]:
+                lagging = ",".join(str(s) for s in summary["stragglers"])
+                text += f"  stragglers: {lagging}"
+            self._render_line(text)
+        return summary
+
+    def finish(self) -> None:
+        if self.writer is not None and self._completed:
+            # Final heartbeat regardless of the ``every`` throttle.
+            self.writer.emit(self._completed, self.total, final=True)
+        if self._rendered:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._rendered = False
+
+    def _render_line(self, text: str) -> None:
+        self.stream.write("\r" + text.ljust(78))
+        self.stream.flush()
+        self._rendered = True
+
+
+# ------------------------------------------------------------- consumers
+def aggregate_shards(records: list[dict]) -> dict:
+    """Latest state per shard plus campaign-level aggregates."""
+    latest: dict[int, dict] = {}
+    for record in records:
+        if (record.get("kind") == "heartbeat"
+                and record.get("role") == "shard"
+                and "shard" in record):
+            latest[record["shard"]] = record
+    completed = sum(r.get("completed", 0) for r in latest.values())
+    total = sum(r.get("total", 0) for r in latest.values())
+    rate = sum(r.get("trials_per_sec", 0.0) for r in latest.values())
+    fractions = {
+        shard: (r["completed"] / r["total"]) if r.get("total") else 1.0
+        for shard, r in latest.items()
+    }
+    done = [s for s, r in latest.items()
+            if r.get("total") and r["completed"] >= r["total"]]
+    front = max(fractions.values(), default=0.0)
+    stragglers = sorted(
+        shard for shard, fraction in fractions.items()
+        if shard not in done and front > 0.0
+        and fraction < STRAGGLER_FRACTION * front
+    )
+    return {
+        "shards": len(latest),
+        "done_shards": len(done),
+        "completed": completed,
+        "total": total,
+        "trials_per_sec": round(rate, 2),
+        "stragglers": stragglers,
+        "latest": latest,
+    }
+
+
+def render_top(records: list[dict], top_batches: int = 8) -> str:
+    """Render a point-in-time view of a (possibly growing) telemetry
+    or heartbeat file, ``top``-style."""
+    from ..eval.report import render_table
+
+    sections: list[str] = []
+    beats = [r for r in records if r.get("kind") == "heartbeat"]
+
+    campaign = [r for r in beats if r.get("role") == "campaign"]
+    if campaign:
+        last = campaign[-1]
+        text = (f"campaign: {last.get('completed', 0)}"
+                + (f"/{last['total']}" if last.get("total") else "")
+                + f" trials, {last.get('trials_per_sec', 0.0):.1f}"
+                  " trials/s")
+        if "eta_seconds" in last:
+            text += f", eta {last['eta_seconds']:.0f}s"
+        if last.get("final"):
+            text += " (finished)"
+        sections.append(text)
+
+    summary = aggregate_shards(records)
+    if summary["shards"]:
+        rows = []
+        for shard in sorted(summary["latest"]):
+            record = summary["latest"][shard]
+            total = record.get("total", 0)
+            done = record.get("completed", 0)
+            flag = ("done" if total and done >= total
+                    else ("straggler" if shard in summary["stragglers"]
+                          else ""))
+            rows.append([
+                str(shard),
+                f"{done}/{total or '?'}",
+                f"{record.get('trials_per_sec', 0.0):8.1f}",
+                (f"{record['eta_seconds']:7.1f}"
+                 if "eta_seconds" in record else "-"),
+                flag,
+            ])
+        title = (f"Shards: {summary['done_shards']}/{summary['shards']} "
+                 f"done, {summary['completed']}/{summary['total'] or '?'} "
+                 f"trials at {summary['trials_per_sec']:.1f} trials/s")
+        sections.append(render_table(
+            ["shard", "trials", "trials/s", "eta s", ""], rows,
+            title=title))
+
+    adaptive = [r for r in beats if r.get("role") == "adaptive"]
+    if adaptive:
+        rows = [
+            [str(r.get("batch", "?")),
+             f"{r.get('completed', 0)}/{r.get('total', '?')}",
+             f"{100.0 * r.get('estimate', 0.0):6.2f}",
+             f"{100.0 * r.get('half_width', 0.0):5.2f}",
+             str(r.get("projected_trials", "-")),
+             "yes" if r.get("met") else "no"]
+            for r in adaptive[-top_batches:]
+        ]
+        target = 100.0 * adaptive[-1].get("target", 0.0)
+        sections.append(render_table(
+            ["batch", "trials", "estimate%", "hw pts", "projected", "met"],
+            rows,
+            title=f"Adaptive convergence (target half-width "
+                  f"{target:.2f} pts, last {len(rows)} batches)"))
+
+    trials = [r for r in records if r.get("kind") == "trial"]
+    if trials:
+        counts: dict[str, int] = {}
+        for record in trials:
+            outcome = record.get("outcome", "?")
+            counts[outcome] = counts.get(outcome, 0) + 1
+        line = ", ".join(f"{outcome}: {n}" for outcome, n
+                         in sorted(counts.items(), key=lambda kv: -kv[1]))
+        sections.append(f"trial records so far: {len(trials)} ({line})")
+
+    if not sections:
+        return "(no heartbeat or trial records yet)"
+    return "\n\n".join(sections)
+
+
+def follow_path(path: str, interval: float = 2.0,
+                iterations: int | None = None, stream=None) -> int:
+    """``obs top``: render ``path`` every ``interval`` seconds.
+
+    ``iterations=1`` renders once and returns (``--once``); ``None``
+    follows until interrupted.  Returns a shell exit code.
+    """
+    stream = stream if stream is not None else sys.stdout
+    rendered = 0
+    try:
+        while True:
+            if os.path.exists(path):
+                body = render_top(read_heartbeats(path))
+            else:
+                body = f"(waiting for {path})"
+            stamp = time.strftime("%H:%M:%S")
+            stream.write(f"-- obs top @ {stamp} -- {path}\n{body}\n")
+            stream.flush()
+            rendered += 1
+            if iterations is not None and rendered >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

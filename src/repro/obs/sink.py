@@ -175,16 +175,26 @@ def _render_trials(trials: list[dict], render_table) -> list[str]:
 
 def _render_spans(spans: list[dict], render_table) -> list[str]:
     totals: dict[str, list[float]] = {}
+    child_time: dict[str, float] = {}
     for record in spans:
         totals.setdefault(record["name"], []).append(record["duration"])
-    rows = [
-        [name, str(len(durations)), f"{sum(durations):8.3f}",
-         f"{1e3 * sum(durations) / len(durations):9.3f}"]
-        for name, durations in sorted(totals.items(),
-                                      key=lambda kv: -sum(kv[1]))
-    ]
+        parent = record.get("parent")
+        if parent:
+            child_time[parent] = (child_time.get(parent, 0.0)
+                                  + record["duration"])
+    rows = []
+    for name, durations in sorted(totals.items(),
+                                  key=lambda kv: -sum(kv[1])):
+        total = sum(durations)
+        # Self time: total minus time attributed to child spans.
+        # Clamped at zero -- children recorded without their parent
+        # (e.g. a truncated export) could otherwise go negative.
+        self_time = max(total - child_time.get(name, 0.0), 0.0)
+        rows.append([name, str(len(durations)), f"{total:8.3f}",
+                     f"{self_time:8.3f}",
+                     f"{1e3 * total / len(durations):9.3f}"])
     return [render_table(
-        ["span", "count", "total s", "mean ms"], rows,
+        ["span", "count", "total s", "self s", "mean ms"], rows,
         title=f"Spans ({len(spans)} recorded)",
     )]
 

@@ -158,6 +158,11 @@ class Machine:
         # With None (the default) run() takes the original tight loop and
         # pays nothing; the injector attaches a tracker around the flip.
         self.taint = None
+        # Hot-path profiler hook: a repro.obs.profile.SimProfiler, or
+        # None.  Same gating contract as ``taint``: one attribute check
+        # per run() call, never per instruction, and bit-identical
+        # execution either way.
+        self.profile = None
         self.reset()
 
     # ------------------------------------------------------------ register map
@@ -217,6 +222,8 @@ class Machine:
             raise SimulationError("machine not reset")
         if self.taint is not None and not self.taint.exhausted:
             return self._run_traced(limit)
+        if self.profile is not None:
+            return self._run_profiled(limit)
         hard_limit = self.max_instructions
         stop_at = hard_limit if limit is None else min(limit, hard_limit)
         func, block_idx, i = self._position
@@ -437,6 +444,120 @@ class Machine:
                             f"control fell off the end of {func.name}",
                         )
         except GuestTrap as trap:
+            self.icount = icount
+            return self._finish(RunStatus.TRAPPED, trap)
+
+    def _run_profiled(self, limit: int | None = None) -> RunResult:
+        """The :meth:`run` loop with per-block profiling hooks.
+
+        Mirrors the fast loop action for action (pause/limit handling,
+        call/return bookkeeping, trap conversion), so execution is
+        bit-identical with or without an attached
+        :class:`~repro.obs.profile.SimProfiler`.  Per instruction the
+        only extra work is one list-element increment into the current
+        block's count vector; block lookup, side-exit recording, and
+        the wall-clock sampler run once per block activation.
+        """
+        prof = self.profile
+        index_counts = prof.index_counts
+        hard_limit = self.max_instructions
+        stop_at = hard_limit if limit is None else min(limit, hard_limit)
+        func, block_idx, i = self._position
+        icount = self.icount
+        key = None
+        try:
+            while True:
+                block = func.blocks[block_idx]
+                steps = block.steps
+                n = len(steps)
+                key = (func.name, block.name)
+                counts = index_counts.get(key)
+                if counts is None:
+                    counts = prof.register_block(key, block)
+                prof.block_tick(key, n)
+                advanced = False
+                while i < n:
+                    if icount >= stop_at:
+                        self.icount = icount
+                        self._position = (func, block_idx, i)
+                        if icount >= hard_limit:
+                            prof.record_exit(key, "hang")
+                            return self._finish(RunStatus.HANG)
+                        return RunResult(RunStatus.PAUSED,
+                                         instructions=icount)
+                    icount += 1
+                    counts[i] += 1
+                    act = steps[i](self)
+                    if act is None:
+                        i += 1
+                        continue
+                    if act >= 0:
+                        prof.record_exit(key, "branch")
+                        block_idx = act
+                        i = 0
+                        advanced = True
+                        break
+                    if act == ACT_CALL:
+                        prof.record_exit(key, "call")
+                        self.call_stack.append(
+                            (func, block_idx, i + 1,
+                             self.pending_dest, self.pending_dest_float)
+                        )
+                        func = self.pending_callee
+                        block_idx = 0
+                        i = 0
+                        advanced = True
+                        break
+                    if act == ACT_RET:
+                        prof.record_exit(key, "ret")
+                        if not self.call_stack:
+                            self.icount = icount
+                            return self._finish(RunStatus.EXITED)
+                        func, block_idx, i, dest, dest_float = (
+                            self.call_stack.pop()
+                        )
+                        self.arg_stack.pop()
+                        if dest >= 0:
+                            value = self.ret_value
+                            if dest_float:
+                                self.fregs[dest] = (
+                                    float(value) if value is not None else 0.0
+                                )
+                            else:
+                                self.regs[dest] = (
+                                    int(value) & MASK64
+                                    if value is not None else 0
+                                )
+                        advanced = True
+                        break
+                    if act == ACT_EXIT:
+                        prof.record_exit(key, "exit")
+                        self.icount = icount
+                        return self._finish(RunStatus.EXITED)
+                    if act == ACT_DETECT:
+                        prof.record_exit(key, "detect")
+                        self.icount = icount
+                        return self._finish(RunStatus.DETECTED)
+                    if act == ACT_RECOVER:
+                        prof.record_recovery(key)
+                        self.recoveries += 1
+                        if self.first_recovery_icount is None:
+                            self.first_recovery_icount = icount
+                        i += 1
+                        continue
+                    raise SimulationError(f"bad step action {act}")
+                if not advanced:
+                    block_idx += 1
+                    i = 0
+                    if block_idx >= len(func.blocks):
+                        raise GuestTrap(
+                            TrapKind.SEGFAULT,
+                            f"control fell off the end of {func.name}",
+                        )
+                    prof.record_exit(key, "fall")
+        except GuestTrap as trap:
+            if key is not None:
+                prof.record_exit(key, "trap")
             self.icount = icount
             return self._finish(RunStatus.TRAPPED, trap)
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
+from time import perf_counter
 
 from ..errors import SimulationError
 from ..faults.campaign import CampaignResult
@@ -332,7 +333,7 @@ class _Arm:
 
 
 def _run_engine(arms: list[_Arm], config: AdaptiveConfig,
-                jobs: int) -> AdaptiveResult:
+                jobs: int, monitor=None) -> AdaptiveResult:
     def all_cells() -> list[StratumCell]:
         cells = []
         for arm in arms:
@@ -344,6 +345,7 @@ def _run_engine(arms: list[_Arm], config: AdaptiveConfig,
     total = 0
     target_met = False
     batch_index = 0
+    start_time = perf_counter()
     while total < config.max_trials:
         budget = min(config.batch_size, config.max_trials - total)
         if batch_index == 0:
@@ -377,6 +379,12 @@ def _run_engine(arms: list[_Arm], config: AdaptiveConfig,
             allocation=allocation, estimate=estimate.value,
             low=estimate.low, high=estimate.high,
             half_width=estimate.half_width, met=met))
+        if monitor is not None:
+            monitor.adaptive_batch(
+                batch=batch_index, trials=ran, total_trials=total,
+                cap=config.max_trials, estimate=estimate.value,
+                half_width=estimate.half_width, target=config.ci_width,
+                met=met)
         if obs_enabled():
             registry = obs_registry()
             registry.counter("adaptive.batches").inc()
@@ -387,6 +395,15 @@ def _run_engine(arms: list[_Arm], config: AdaptiveConfig,
             break
         if ran == 0:  # allocation starved (cap smaller than strata)
             break
+    # Attribute engine wall time to arms by trial share: per-arm
+    # elapsed then sums back to the true campaign wall clock, and the
+    # parallel path's merged per-shard sums are replaced by the more
+    # honest end-to-end measurement.
+    elapsed = perf_counter() - start_time
+    if total > 0:
+        for arm in arms:
+            arm.result.elapsed_seconds = (elapsed * arm.result.trials
+                                          / total)
     final_cells = {c.key: c for c in all_cells()}
     return AdaptiveResult(
         config=config,
@@ -411,12 +428,19 @@ def run_adaptive_campaign(
     log: CampaignLog | None = None,
     max_instructions: int = 10_000_000,
     name: str = "campaign",
+    monitor=None,
 ) -> AdaptiveResult:
-    """Adaptively campaign one binary until the metric's CI is tight."""
+    """Adaptively campaign one binary until the metric's CI is tight.
+
+    A ``monitor`` :class:`~repro.obs.monitor.CampaignMonitor` receives
+    one progress update per batch: total trials so far, the CI-width
+    trajectory, and a shrinkage-based projection of the trials still
+    needed.
+    """
     config = config or AdaptiveConfig()
     machine = machine or Machine(program, max_instructions=max_instructions)
     arm = _Arm(name, machine, 1.0, config, seed, log)
-    return _run_engine([arm], config, jobs)
+    return _run_engine([arm], config, jobs, monitor=monitor)
 
 
 def run_adaptive_suite(
@@ -426,6 +450,7 @@ def run_adaptive_suite(
     seed: int = 0,
     jobs: int = 1,
     logs: dict[str, CampaignLog] | None = None,
+    monitor=None,
 ) -> AdaptiveResult:
     """Adaptively campaign a suite of binaries as equal-weight arms.
 
@@ -443,4 +468,4 @@ def run_adaptive_suite(
              (logs or {}).get(name))
         for name, machine in machines
     ]
-    return _run_engine(arms, config, jobs)
+    return _run_engine(arms, config, jobs, monitor=monitor)
