@@ -1,12 +1,13 @@
-"""Campaign throughput: serial vs checkpointed vs process-parallel.
+"""Campaign throughput: serial vs checkpointed vs parallel vs JIT.
 
 Campaigns are the evaluation's dominant cost (250 trials per
 (benchmark, technique) cell in the paper).  This bench measures
 trials/sec on a SWIFT-R-protected workload along the optimisation
 axes this repo implements -- golden-run checkpointing with
-convergence fast-forward, and ``--jobs`` process sharding -- and
-asserts that all the paths agree bit-for-bit while the checkpointed
-path is at least 2x the serial reference on a single core.
+convergence fast-forward, ``--jobs`` process sharding, and the block
+JIT -- and asserts that all the paths agree bit-for-bit while the
+checkpointed path is at least 2x the serial reference on a single
+core and the JIT at least 5x over full replay.
 
 It also measures two observability features' cost envelopes:
 
@@ -51,6 +52,9 @@ def test_campaign_throughput():
     assert results["taint"].recoveries == serial.recoveries
     assert results["taint_off_recheck"] == results["checkpointed"]
     assert results["profile"] == serial
+    # The JIT modes are the same campaign too, trial for trial.
+    assert results["jit_serial"] == serial
+    assert results["jit"] == serial
 
     write_bench("BENCH_campaign.json", "campaign_throughput", records,
                 seed=SEED, trials=TRIALS)
@@ -64,3 +68,7 @@ def test_campaign_throughput():
     # the recheck ran after a full taint-on campaign on this machine,
     # so drift here would mean tracing state leaked into the fast path.
     assert 0.5 <= summary["taint_off_ratio"] <= 2.0
+    # Block JIT: at least 5x the full-replay interpreter on the same
+    # suite (the compiled code also compounds with checkpointing,
+    # recorded as jit_speedup over the checkpointed baseline).
+    assert summary["jit_serial_speedup"] >= 5.0

@@ -122,7 +122,8 @@ def _cmd_campaign(args) -> int:
     campaign = run_parallel_campaign(binary, trials=args.trials,
                                      seed=args.seed, jobs=args.jobs,
                                      log=log, taint=args.taint,
-                                     profile=profile, monitor=monitor)
+                                     profile=profile, monitor=monitor,
+                                     jit=args.jit)
     if monitor is not None:
         monitor.finish()
     print(f"technique : {args.technique.label}")
@@ -182,7 +183,7 @@ def _adaptive_campaign(args, binary, sink, log, monitor=None) -> int:
                             max_trials=args.max_trials)
     result = run_adaptive_campaign(binary, config=config, seed=args.seed,
                                    jobs=args.jobs, log=log,
-                                   monitor=monitor)
+                                   monitor=monitor, jit=args.jit)
     if monitor is not None:
         monitor.finish()
     campaign = result.result
@@ -254,7 +255,8 @@ def _cmd_obs_hotspots(args) -> int:
         profile = SimProfiler()
         program = prepare(args.workload, args.technique)
         run_parallel_campaign(program, trials=args.trials, seed=args.seed,
-                              jobs=args.jobs, profile=profile)
+                              jobs=args.jobs, profile=profile,
+                              jit=args.jit)
         records = profile.to_records(
             context={"workload": args.workload,
                      "technique": args.technique.value,
@@ -317,6 +319,8 @@ def _cmd_fig8(args) -> int:
                  "--max-trials", str(args.max_trials)]
     if args.ci:
         argv += ["--ci", "--confidence", str(args.confidence)]
+    if args.jit is not None:
+        argv += ["--jit" if args.jit else "--no-jit"]
     return reliability.main(argv)
 
 
@@ -328,6 +332,8 @@ def _cmd_fig9(args) -> int:
         argv += ["--telemetry", args.telemetry]
     if args.profile:
         argv += ["--profile", args.profile]
+    if args.jit is not None:
+        argv += ["--jit" if args.jit else "--no-jit"]
     return performance.main(argv)
 
 
@@ -388,6 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="confidence level (default 0.95)")
     p_campaign.add_argument("--max-trials", type=int, default=4000,
                             help="adaptive trial cap")
+    p_campaign.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                            default=None,
+                            help="block-compile the binary for execution "
+                                 "(default: on unless --taint/--profile; "
+                                 "outcomes are bit-identical either way)")
     p_campaign.add_argument("--metric", default="unace",
                             choices=["unace", "sdc", "segv", "failure",
                                      "detected"],
@@ -430,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig8.add_argument("--ci", action="store_true",
                         help="annotate tables with confidence intervals "
                              "and the claims table")
+    p_fig8.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="block-compile each cell's binary "
+                             "(default: on unless --taint/--profile)")
     p_fig8.set_defaults(func=_cmd_fig8)
 
     p_fig9 = sub.add_parser("fig9", help="reproduce Figure 9 (performance)")
@@ -439,6 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig9.add_argument("--profile", default="",
                         help="profile one functional golden run per cell "
                              "and write the records here")
+    p_fig9.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="accepted for parity with campaign/fig8; "
+                             "the cycle-timing loop never uses the JIT")
     p_fig9.set_defaults(func=_cmd_fig9)
 
     p_obs = sub.add_parser("obs", help="telemetry tooling")
@@ -475,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_hotspots.add_argument("--trials", type=int, default=60)
     p_hotspots.add_argument("--seed", type=int, default=0)
     p_hotspots.add_argument("--jobs", type=int, default=1)
+    p_hotspots.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                            default=None,
+                            help="with --workload: annotate the report "
+                                 "with a JIT-coverage column (fraction of "
+                                 "dynamic instructions in compiled blocks)")
     p_hotspots.add_argument("--top", type=int, default=10,
                             help="blocks to show (default 10)")
     p_hotspots.set_defaults(func=_cmd_obs_hotspots)

@@ -31,6 +31,12 @@ GATED_METRICS: dict[tuple[str, str | None], tuple[tuple[str, str], ...]] = {
         ("parallel_speedup", "higher"),
         ("taint_off_ratio", "higher"),
         ("profile_overhead", "lower"),
+        # The block JIT's headline numbers: absolute jit-on throughput
+        # plus its speedups over both interpreter baselines, so a future
+        # PR cannot silently regress the compiler.
+        ("jit_trials_per_sec", "higher"),
+        ("jit_serial_speedup", "higher"),
+        ("jit_speedup", "higher"),
     ),
     ("adaptive_bench", "technique"): (("adaptive_trials", "lower"),),
     ("adaptive_bench_summary", None): (

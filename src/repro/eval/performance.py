@@ -150,6 +150,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", type=str, default="",
                         help="profile one functional golden run per cell "
                              "into this JSONL path (for `obs hotspots`)")
+    # Accepted for CLI parity with `campaign` and `fig8`.  The timing
+    # model accounts cycles per dynamic instruction in its own loop and
+    # never executes through the block JIT, so the flag cannot change
+    # Figure-9 numbers; scripts can pass the same flags to all three.
+    parser.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="accepted for parity with campaign/fig8; "
+                             "the cycle-timing loop never uses the JIT")
     args = parser.parse_args(argv)
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(PAPER_BENCHMARKS))

@@ -100,6 +100,7 @@ def evaluate_reliability(
     confidence: float = 0.95,
     max_trials: int = 4000,
     profile_path: str = "",
+    jit: bool | None = None,
 ) -> ReliabilityResults:
     """Run the full Figure-8 campaign grid.
 
@@ -125,6 +126,11 @@ def evaluate_reliability(
     benchmark and technique) to one JSONL file; ``obs hotspots``
     merges them into a grid-wide hot-block ranking.  Not supported
     with ``adaptive`` (batch sizes depend on observed variance).
+
+    ``jit`` follows :func:`repro.faults.campaign.run_campaign`'s
+    contract: ``None`` (the default) compiles each cell's binary with
+    the block JIT unless taint or profiling asked for an instrumented
+    interpreter; results are bit-identical either way.
     """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
@@ -142,7 +148,8 @@ def evaluate_reliability(
                              "adaptive campaigns")
         _evaluate_adaptive(results, options, telemetry=telemetry,
                            progress=progress, jobs=jobs,
-                           ci_width=ci_width, max_trials=max_trials)
+                           ci_width=ci_width, max_trials=max_trials,
+                           jit=jit)
         return results
     profile_records: list[dict] = []
     for bench in benchmarks:
@@ -164,12 +171,12 @@ def evaluate_reliability(
                     campaign = run_campaign(machine.program, trials=trials,
                                             seed=seed, machine=machine,
                                             log=log, taint=taint,
-                                            profile=profiler)
+                                            profile=profiler, jit=jit)
                 else:
                     campaign = run_parallel_campaign(
                         machine.program, trials=trials, seed=seed,
                         jobs=jobs, machine=machine, log=log, taint=taint,
-                        profile=profiler,
+                        profile=profiler, jit=jit,
                     )
             results.cells[(bench, tech)] = campaign
             if profiler is not None:
@@ -201,7 +208,8 @@ def _evaluate_adaptive(results: ReliabilityResults,
                        options: PipelineOptions,
                        telemetry: JsonlSink | None,
                        progress: bool, jobs: int,
-                       ci_width: float, max_trials: int) -> None:
+                       ci_width: float, max_trials: int,
+                       jit: bool | None = None) -> None:
     """One adaptive suite-level campaign per technique."""
     config = AdaptiveConfig(ci_width=ci_width,
                             confidence=results.confidence,
@@ -218,7 +226,7 @@ def _evaluate_adaptive(results: ReliabilityResults,
                         for bench in results.benchmarks]
             adaptive = run_adaptive_suite(machines, config=config,
                                           seed=results.seed, jobs=jobs,
-                                          logs=logs)
+                                          logs=logs, jit=jit)
         results.adaptive[tech] = adaptive
         for bench in results.benchmarks:
             results.cells[(bench, tech)] = adaptive.arm_results[bench]
@@ -420,6 +428,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="annotate the tables with confidence "
                              "intervals and the claims table (implied by "
                              "--adaptive)")
+    parser.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="block-compile each cell's binary "
+                             "(default: on unless --taint/--profile; "
+                             "results are bit-identical either way)")
     args = parser.parse_args(argv)
     if args.adaptive and args.profile:
         print("error: --profile is not supported with --adaptive",
@@ -436,7 +449,8 @@ def main(argv: list[str] | None = None) -> int:
                                    ci_width=args.ci_width / 100.0,
                                    confidence=args.confidence,
                                    max_trials=args.max_trials,
-                                   profile_path=args.profile)
+                                   profile_path=args.profile,
+                                   jit=args.jit)
     export_session(sink)
     confidence = (args.confidence if (args.ci or args.adaptive) else None)
     print(render_figure8(results, confidence=confidence))

@@ -17,6 +17,7 @@ from ..obs.campaign_log import CampaignLog
 from ..obs.metrics import registry as obs_registry
 from ..obs.spans import enabled as obs_enabled, span
 from ..sim.events import RunStatus
+from ..sim.jit import attach_jit
 from ..sim.machine import Machine
 from ..sim.taint import TaintTracker
 from .injector import (
@@ -157,6 +158,7 @@ def run_campaign(
     sites: list[FaultSite] | None = None,
     profile=None,
     monitor=None,
+    jit: bool | None = None,
 ) -> CampaignResult:
     """Run a full SEU campaign against ``program``.
 
@@ -191,13 +193,35 @@ def run_campaign(
     trial (execution stays bit-identical), and a
     :class:`~repro.obs.monitor.CampaignMonitor` as ``monitor`` to
     stream per-trial progress (heartbeat records and/or a TTY line).
+
+    ``jit`` selects the block-compiled execution engine (see
+    :mod:`repro.sim.jit`): ``True`` forces it on, ``False`` off, and
+    ``None`` (the default) enables it exactly when neither taint
+    tracing nor profiling is requested -- those modes run their own
+    instrumented interpreter loops, which take precedence over an
+    attached JIT anyway.  Trial outcomes and telemetry are
+    bit-identical either way; only throughput changes.  The machine's
+    previous ``jit`` attachment is restored on return because machines
+    are shared across campaigns (``prepare_machine`` caches them).
     """
     if taint and log is None:
         raise ValueError("taint tracing requires a CampaignLog "
                          "to receive the event streams")
     machine = machine or Machine(program, max_instructions=max_instructions)
+    if jit is None:
+        jit = not taint and profile is None
+    saved_jit = machine.jit
+    if jit:
+        attach_jit(machine)
+    else:
+        machine.jit = None
     if profile is not None:
         machine.profile = profile
+        if jit:
+            # Profiled execution uses the counting interpreter loop;
+            # annotate which functions the JIT *would* run compiled so
+            # `obs hotspots` can report coverage for --jit campaigns.
+            profile.annotate_jit(machine)
     start_time = perf_counter()
     try:
         result = _run_campaign_trials(
@@ -205,6 +229,7 @@ def run_campaign(
             checkpoint_interval=checkpoint_interval, taint=taint,
             sites=sites, profile=profile, monitor=monitor)
     finally:
+        machine.jit = saved_jit
         if profile is not None:
             machine.profile = None
     result.elapsed_seconds = perf_counter() - start_time

@@ -47,6 +47,7 @@ from ..obs import spans
 from ..obs.campaign_log import CampaignLog, TrialRecord
 from ..obs.spans import span
 from ..sim.events import RunStatus
+from ..sim.jit import attach_jit
 from ..sim.machine import Machine
 from ..sim.taint import TaintTracker
 from .campaign import CampaignResult, record_campaign_metrics, run_campaign
@@ -63,12 +64,17 @@ def _init_worker(program: Program, max_instructions: int,
                  checkpoint_interval: int | None,
                  taint: bool = False, profile: bool = False,
                  heartbeat_path: str | None = None,
-                 heartbeat_every: int = 16) -> None:
+                 heartbeat_every: int = 16,
+                 jit: bool = False) -> None:
     """Compile this worker's machine and build its golden checkpoints."""
     # Workers must not inherit an enabled span collector from a
     # telemetry-on parent: their spans could never be drained.
     spans.disable()
     machine = Machine(program, max_instructions=max_instructions)
+    if jit:
+        # Attach before the checkpoint build so the worker's golden
+        # run compiles (and caches) once and runs at JIT speed too.
+        attach_jit(machine)
     store = CheckpointStore(machine, interval=checkpoint_interval)
     golden = store.build()
     if golden.status is not RunStatus.EXITED:
@@ -191,6 +197,7 @@ def run_parallel_campaign(
     sites: list[FaultSite] | None = None,
     profile=None,
     monitor=None,
+    jit: bool | None = None,
 ) -> CampaignResult:
     """Run an SEU campaign sharded over ``jobs`` worker processes.
 
@@ -219,6 +226,10 @@ def run_parallel_campaign(
     :class:`~repro.obs.monitor.CampaignMonitor` gets per-shard
     heartbeats streamed into its heartbeat file by the workers, and
     the parent polls them into the live progress line while waiting.
+
+    ``jit`` follows :func:`run_campaign`'s contract (``None`` = on
+    unless taint or profile); each worker attaches its own compiled
+    JIT, so ``jobs=N`` stays bit-identical to serial either way.
     """
     if taint and log is None:
         raise ValueError("taint tracing requires a CampaignLog "
@@ -233,16 +244,26 @@ def run_parallel_campaign(
                             machine=machine, log=log,
                             checkpoint_interval=checkpoint_interval,
                             taint=taint, sites=sites,
-                            profile=profile, monitor=monitor)
+                            profile=profile, monitor=monitor, jit=jit)
+    if jit is None:
+        jit = not taint and profile is None
     start_time = perf_counter()
     machine = machine or Machine(program, max_instructions=max_instructions)
+    saved_jit = machine.jit
+    if jit:
+        attach_jit(machine)
+    else:
+        machine.jit = None
     if profile is not None:
         # Profile the parent's golden run (once -- the serial path also
         # counts the golden stream exactly once).
         machine.profile = profile
+        if jit:
+            profile.annotate_jit(machine)
     try:
         golden = golden_run(machine)
     finally:
+        machine.jit = saved_jit
         if profile is not None:
             machine.profile = None
     if golden.status is not RunStatus.EXITED:
@@ -276,7 +297,7 @@ def run_parallel_campaign(
                 initializer=_init_worker,
                 initargs=(program, max_instructions, checkpoint_interval,
                           taint, profile is not None, heartbeat_path,
-                          heartbeat_every),
+                          heartbeat_every, jit),
             ) as pool:
                 tasks = [(i, lo, shard, path)
                          for i, ((lo, shard), path)

@@ -68,6 +68,10 @@ class SimProfiler:
         #: Trials that ran (partly) in the taint-traced loop, whose
         #: instructions this profiler therefore did not see.
         self.taint_trials = 0
+        #: function name -> whether the block JIT compiled it (None
+        #: until :meth:`annotate_jit` runs; profiled execution itself
+        #: always uses the counting interpreter loop).
+        self.jit_functions: dict[str, bool] | None = None
         self._countdown = self.sample_every
         self._last_sample = perf_counter()
 
@@ -98,6 +102,27 @@ class SimProfiler:
 
     def record_recovery(self, key: tuple[str, str]) -> None:
         self.recoveries[key] = self.recoveries.get(key, 0) + 1
+
+    def annotate_jit(self, machine) -> None:
+        """Record which of ``machine``'s functions the block JIT
+        compiled, so the hotspot report can show what fraction of the
+        profiled dynamic instructions a ``--jit`` campaign executes in
+        compiled code rather than interpreter fallback.
+
+        This is the JIT's *static* compile decision per function
+        (uncompilable functions fall back whole); the rare dynamic
+        side exits -- injection pauses, mid-block resumes -- re-enter
+        compiled code immediately, so function granularity is the
+        honest approximation.  Profiled execution itself always runs
+        the counting interpreter loop; this only annotates.
+        """
+        from ..sim.jit import jit_program_for
+
+        compiled = jit_program_for(machine)
+        self.jit_functions = {
+            name: compiled.tables(name)[0] is not None
+            for name in machine.functions
+        }
 
     # ------------------------------------------------------------- aggregates
     @property
@@ -143,6 +168,10 @@ class SimProfiler:
         for key, seconds in other.wall.items():
             self.wall[key] = self.wall.get(key, 0.0) + seconds
         self.taint_trials += other.taint_trials
+        if other.jit_functions is not None:
+            merged = dict(self.jit_functions or {})
+            merged.update(other.jit_functions)
+            self.jit_functions = merged
 
     # ---------------------------------------------------------------- export
     def to_records(self, context: dict | None = None) -> list[dict]:
@@ -160,6 +189,13 @@ class SimProfiler:
             "wall_seconds": round(total_wall, 6),
             "taint_trials": self.taint_trials,
         }
+        if self.jit_functions is not None:
+            jit_instructions = sum(
+                sum(counts) for key, counts in self.index_counts.items()
+                if self.jit_functions.get(key[0], False))
+            summary["jit_instructions"] = jit_instructions
+            summary["jit_coverage"] = (round(jit_instructions / total, 8)
+                                       if total else 0.0)
         if context:
             summary.update(context)
         records.append(summary)
@@ -179,6 +215,8 @@ class SimProfiler:
                 "wall_seconds": round(self.wall.get(key, 0.0), 6),
                 "index_counts": list(counts),
             }
+            if self.jit_functions is not None:
+                record["jit"] = self.jit_functions.get(key[0], False)
             if context:
                 record.update(context)
             records.append(record)
@@ -217,6 +255,8 @@ def _merge_blocks(records) -> list[dict]:
         into["entries"] += record.get("entries", 0)
         into["recoveries"] += record.get("recoveries", 0)
         into["wall_seconds"] += record.get("wall_seconds", 0.0)
+        if "jit" in record:
+            into["jit"] = bool(into.get("jit", False) or record["jit"])
         for kind, count in record.get("exits", {}).items():
             into["exits"][kind] = into["exits"].get(kind, 0) + count
     return list(merged.values())
@@ -249,6 +289,7 @@ def render_hotspots(records: list[dict], top: int = 10) -> str:
         return "(no profile records)"
     total = sum(r["instructions"] for r in blocks)
     total_wall = sum(r.get("wall_seconds", 0.0) for r in blocks)
+    has_jit = any("jit" in r for r in blocks)
     blocks.sort(key=lambda r: (-r["instructions"], _block_label(r)))
     rows = []
     cumulative = 0
@@ -259,7 +300,7 @@ def render_hotspots(records: list[dict], top: int = 10) -> str:
         side = " ".join(f"{kind}:{exits[kind]}" for kind in EXIT_KINDS
                         if exits.get(kind))
         wall = record.get("wall_seconds", 0.0)
-        rows.append([
+        row = [
             str(rank),
             _block_label(record),
             str(record["instructions"]),
@@ -270,11 +311,18 @@ def render_hotspots(records: list[dict], top: int = 10) -> str:
              if entries else "-"),
             (f"{100.0 * wall / total_wall:5.1f}" if total_wall else "-"),
             str(record.get("recoveries", 0)),
-            side or "-",
-        ])
+        ]
+        if has_jit:
+            row.append("yes" if record.get("jit") else "no")
+        row.append(side or "-")
+        rows.append(row)
+    headers = ["#", "block", "instrs", "share%", "cum%", "entries",
+               "instrs/entry", "wall%", "recov"]
+    if has_jit:
+        headers.append("jit")
+    headers.append("exits")
     sections = [render_table(
-        ["#", "block", "instrs", "share%", "cum%", "entries",
-         "instrs/entry", "wall%", "recov", "exits"],
+        headers,
         rows,
         title=f"JIT candidates: top {min(top, len(blocks))} of "
               f"{len(blocks)} blocks by dynamic instruction share "
@@ -289,6 +337,12 @@ def render_hotspots(records: list[dict], top: int = 10) -> str:
         if running >= 0.8 * total:
             break
     notes = [f"{jit_cut} block(s) cover 80% of all dynamic instructions."]
+    if has_jit and total:
+        covered = sum(r["instructions"] for r in blocks if r.get("jit"))
+        notes.append(
+            f"JIT coverage: {100.0 * covered / total:.2f}% of dynamic "
+            "instructions lie in compiled blocks; the rest run in the "
+            "interpreter fallback under --jit.")
     taint_trials = sum(r.get("taint_trials", 0) for r in summaries)
     if taint_trials:
         notes.append(

@@ -1,0 +1,1401 @@
+"""Block-compiling JIT for the virtual ISA.
+
+The interpreter in :mod:`repro.sim.machine` dispatches one Python
+closure per dynamic instruction.  That per-instruction dispatch -- a
+list index, a call, an action check -- dominates campaign runtime now
+that checkpointing and adaptive stopping have squeezed out redundant
+*trials*.  This module removes it: every function is rendered into one
+generated Python driver via opcode templates -- registers held in
+Python locals across basic-block transitions, the instruction counter
+carried as a local, block-to-block control flow as a binary-dispatch
+``while`` loop -- then ``compile()``d once and cached per *program
+identity*, so one compilation is amortised over the golden run and
+every trial of every campaign on that binary.
+
+Execution model ("side exits"):
+
+* ``Machine.run`` gains a ``jit`` gate with the same zero-cost-when-off
+  contract as ``taint``/``profile``: one attribute check per ``run()``
+  call.  When a :class:`JitProgram` is attached,
+  ``Machine._run_jit`` calls the current function's compiled driver,
+  which executes whole blocks fused (no per-instruction dispatch) and
+  returns the interpreter's action protocol at every event the
+  interpreter must own: calls, returns, program exit, detection.
+* **Pause safety (fault injection, hangs):** the driver checks, at
+  every block entry, that the whole block fits under ``stop_at``
+  (``ic + len(block) <= stop``).  If not it returns with control at
+  that block boundary and ``Machine._run_jit`` interprets
+  instruction-by-instruction -- so the pause at a fault site's exact
+  dynamic icount, the instruction-budget hang, and snapshot boundaries
+  are always taken by the interpreter loop, bit-identically.
+* **Mid-block entry:** a ``CALL`` side-exits the driver (pushing its
+  return frame directly); the post-call suffix of the block is
+  compiled as a separate *resume segment* keyed ``(block, index)``.
+  Restores into any other mid-block position (checkpoint restore,
+  opcode-fault stepping) fall back to the interpreter until the next
+  control transfer, then splice back into compiled dispatch.
+* **Traps:** trapping templates (memory access, DIV/REM, CVTFI,
+  PARAM) record the exact retired count before any side effect, and
+  the interpreter's trapping steps never mutate state before raising,
+  so a compiled trap re-raises with bit-identical ``RunResult``
+  accounting.
+* Taint tracing and profiling take precedence over the JIT in
+  ``Machine.run`` -- their mirror loops observe every instruction, so
+  compiled execution is bypassed while either is attached (the
+  profiler still *simulates* the dispatch predicate to measure JIT
+  coverage; see :mod:`repro.obs.profile`).
+
+Generated code holds no per-run state: drivers read the register files
+and memory afresh from the ``Machine`` argument on every activation,
+write dirty registers back at every side exit, and push call frames
+through ``m.functions`` so frames are identical to interpreter frames.
+Sharing one :class:`JitProgram` across machines is sound because slot
+assignment (``Machine.slot_of``) is deterministic per program compile
+order.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from ..isa.instruction import Instruction, Role
+from ..isa.opcodes import Opcode, OpKind
+from ..isa.operands import FImm, Imm, MASK64, to_signed
+from ..isa.registers import Register
+from .events import GuestTrap, TrapKind
+from .machine import Machine, _fop_div
+from .memory import bits_to_float, float_to_bits
+
+_TWO63 = 1 << 63
+_TWO64 = 1 << 64
+
+# Namespace the generated code executes in.  Builtins are emptied so the
+# templates are explicit about every name they touch; helpers keep the
+# rare trap-exact operations (integer division, IEEE float division)
+# byte-compatible with the interpreter's closures.
+_GLOBALS = {
+    "__builtins__": {},
+    "_GT": GuestTrap,
+    "_TK_ILLEGAL": TrapKind.ILLEGAL,
+    "_TK_BADCONV": TrapKind.BAD_CONVERT,
+    "_TK_SEGV": TrapKind.SEGFAULT,
+    "_TK_DIVZ": TrapKind.DIV_BY_ZERO,
+    "_f2b": float_to_bits,
+    "_b2f": bits_to_float,
+    "_fdiv": _fop_div,
+    "abs": abs,
+    "_INF": float("inf"),
+    "_NINF": float("-inf"),
+    "_NAN": float("nan"),
+    "type": type,
+    "int": int,
+    "float": float,
+    "len": len,
+    # Only evaluated when a LOAD's cells-subscript fast path misses
+    # (exception clauses resolve the handler name lazily), so keep it
+    # exported explicitly like everything else the templates touch.
+    "KeyError": KeyError,
+}
+
+# Marker suffix interpolated into emitted bodies where the dirty-register
+# writeback belongs; replaced once the full write set is known.  Any
+# leading indentation survives as the line prefix.
+_WB = "\x00WB\x00"
+
+# Memory ops eligible for hoisted span checks (access runs).
+_ACCESS_OPS = (Opcode.LOAD, Opcode.STORE, Opcode.FLOAD, Opcode.FSTORE)
+
+
+class JitProgram:
+    """Compiled drivers for one :class:`~repro.isa.program.Program`.
+
+    ``tables(name)`` returns ``(driver, resumes)`` for one function:
+    ``driver(m, ic, stop, bi)`` executes from block ``bi`` (instruction
+    0) and ``resumes[(block, i)]`` maps each post-``CALL`` resume point
+    to ``(segment_fn, need)`` where ``need`` is the most instructions
+    the segment can retire (the dispatch loop's pause-safety precheck).
+    ``sources`` keeps the generated Python per function for debugging.
+    """
+
+    __slots__ = ("tables_by_name", "sources", "segment_count")
+
+    def __init__(self, tables_by_name: dict, sources: dict[str, str],
+                 segment_count: int) -> None:
+        self.tables_by_name = tables_by_name
+        self.sources = sources
+        self.segment_count = segment_count
+
+    def tables(self, func_name: str):
+        return self.tables_by_name[func_name]
+
+
+class _Uncompilable(Exception):
+    """An opcode with no template; the function stays interpreted."""
+
+
+def _flit(value: float) -> str:
+    """A source literal that evaluates to exactly ``value``."""
+    value = float(value)
+    if value != value:
+        return "_NAN"
+    if value == float("inf"):
+        return "_INF"
+    if value == float("-inf"):
+        return "_NINF"
+    return repr(value)
+
+
+class _Emitter:
+    """Renders instruction templates into Python source lines.
+
+    Two modes share the templates:
+
+    * ``whole=True`` -- emitting one block body of a function driver.
+      ``ic`` is a *running* local (advanced at block transitions);
+      taken branches stay inside the driver (``ic += d; bi = T;
+      continue``) with **no register writeback**, because the function
+      preamble loads every slot the function touches and locals stay
+      live across blocks.
+    * ``whole=False`` -- emitting a standalone post-``CALL`` resume
+      segment.  ``ic`` is fixed at entry; every control transfer is a
+      side exit returning the interpreter action protocol.
+    """
+
+    def __init__(self, machine: Machine, func_name: str,
+                 block_index: dict[str, int], whole: bool,
+                 int_cells: bool = False,
+                 local_int: set[int] | None = None,
+                 local_float: set[int] | None = None,
+                 call_summaries: dict | None = None) -> None:
+        self.machine = machine
+        self.func_name = func_name
+        self.block_index = block_index
+        self.whole = whole
+        # True when memory cells provably never hold floats (no FSTORE
+        # anywhere, no float in the initial data image): LOAD can skip
+        # the per-access float-coercion check.
+        self.int_cells = int_cells
+        # Slots promoted to Python locals (read in the preamble, written
+        # back at side exits).  Cold slots -- outside these sets --
+        # access the register file in place, costing one index per use
+        # but nothing at activation boundaries.  ``None`` = promote all
+        # (resume segments are too short to be worth planning).
+        self.local_int = local_int
+        self.local_float = local_float
+        # Per-function (is_inline_leaf, use_counts...) summaries: a CALL
+        # to a compilable leaf expands the callee's whole block
+        # structure in place, running on the caller's locals (the
+        # register file is shared, so no state crosses the boundary).
+        self.call_summaries = call_summaries
+        # Function objects referenced by emitted frames, hoisted to the
+        # prologue as ``_fnN = m.functions[name]`` (one load per
+        # activation instead of one dict lookup per call).
+        self.fn_syms: dict[str, str] = {}
+        # Return frames for inline call sites are static tuples, built
+        # once per activation in the prologue (``_frN = (...)``) and
+        # pushed by reference at each call -- frames compare by value,
+        # so sharing one tuple across pushes is observationally
+        # identical to the interpreter's per-call tuples.
+        self.frame_consts: list[str] = []
+        # Inside an inline-expanded callee: the static kinds of the
+        # argument list the call site just pushed (``_args``), letting
+        # PARAM skip its bounds check and known-type coercions.
+        self.inline_arg_kinds: list[str] | None = None
+        # Name of the block-dispatch variable transfers assign
+        # (``bi`` in the driver, ``_cb`` inside an inlined callee).
+        self.dispatch_var = "bi"
+        # RET emission mode: a driver returns -4 to the dispatcher; an
+        # inlined callee body exits its dispatch loop and falls through
+        # to the call-site continuation.
+        self.ret_break = False
+        self.block = 0        # current block index being emitted
+        self.entry = 0        # absolute index of instruction 0 of the body
+        # Index of the block a leaf's inner loop re-enters at (whole
+        # mode): branches back to it are a bare ``continue``.
+        self.chain_entry = -1
+        # Chain-inlining signal (whole mode): an unconditional top-level
+        # transfer sets this instead of emitting a dispatch round trip,
+        # and the driver renderer keeps emitting the successor inline.
+        self.chain_next: tuple[int, int] | None = None
+        self.int_slots: set[int] = set()
+        self.float_slots: set[int] = set()
+        self.int_writes: set[int] = set()
+        self.float_writes: set[int] = set()
+        self.uses_int_file = False
+        self.uses_float_file = False
+        self.uses_mem = False
+        self.uses_traps = False
+        self._indent = ""
+        self.lines: list[str] = []
+
+    # ------------------------------------------------------------ operands
+    def ireg(self, operand) -> str:
+        slot = self.machine.slot_of(operand)
+        self.uses_int_file = True
+        if self.local_int is not None and slot not in self.local_int:
+            return f"regs[{slot}]"
+        self.int_slots.add(slot)
+        return f"r{slot}"
+
+    def freg(self, operand) -> str:
+        slot = self.machine.slot_of(operand)
+        self.uses_float_file = True
+        if self.local_float is not None and slot not in self.local_float:
+            return f"fregs[{slot}]"
+        self.float_slots.add(slot)
+        return f"f{slot}"
+
+    def iwrite(self, operand) -> str:
+        slot = self.machine.slot_of(operand)
+        self.uses_int_file = True
+        if self.local_int is not None and slot not in self.local_int:
+            return f"regs[{slot}]"
+        self.int_slots.add(slot)
+        self.int_writes.add(slot)
+        return f"r{slot}"
+
+    def fwrite(self, operand) -> str:
+        slot = self.machine.slot_of(operand)
+        self.uses_float_file = True
+        if self.local_float is not None and slot not in self.local_float:
+            return f"fregs[{slot}]"
+        self.float_slots.add(slot)
+        self.float_writes.add(slot)
+        return f"f{slot}"
+
+    def int_expr(self, operand) -> str:
+        if isinstance(operand, Imm):
+            return repr(operand.value)
+        return self.ireg(operand)
+
+    def signed_expr(self, operand) -> str:
+        if isinstance(operand, Imm):
+            return repr(to_signed(operand.value))
+        v = self.ireg(operand)
+        return f"(({v} - {_TWO64}) if {v} >= {_TWO63} else {v})"
+
+    def biased_expr(self, operand) -> str:
+        """Signed-order-preserving unsigned expression.
+
+        ``(a ^ 2**63) < (b ^ 2**63)`` over the raw 64-bit values orders
+        exactly like the signed comparison -- one XOR per operand
+        instead of a sign-extension ternary.  Only valid for
+        comparisons (the bias shifts values, preserving order only).
+        """
+        if isinstance(operand, Imm):
+            return repr((operand.value & MASK64) ^ _TWO63)
+        return f"({self.ireg(operand)} ^ {_TWO63})"
+
+    def float_expr(self, operand) -> str:
+        if isinstance(operand, FImm):
+            return _flit(operand.value)
+        return self.freg(operand)
+
+    # ------------------------------------------------------------- helpers
+    def emit(self, line: str) -> None:
+        self.lines.append(self._indent + line)
+
+    def fn_sym(self, name: str) -> str:
+        """Prologue-hoisted symbol for the function object ``name``."""
+        sym = self.fn_syms.get(name)
+        if sym is None:
+            sym = f"_fn{len(self.fn_syms)}"
+            self.fn_syms[name] = sym
+        return sym
+
+    def emit_exit(self, delta: int, action: str, indent: str = "") -> None:
+        """Writeback + exact icount + return ``action`` (a side exit)."""
+        self.emit(indent + _WB)
+        self.emit(f"{indent}m.icount = ic + {delta}")
+        self.emit(f"{indent}return {action}")
+
+    def emit_transfer(self, delta: int, target: int,
+                      indent: str = "") -> None:
+        """Control reaches block ``target`` after ``delta`` retired.
+
+        In whole mode an *unconditional* (top-level) transfer signals
+        the renderer to keep emitting the successor inline -- no
+        dispatch round trip; conditional (indented) transfers re-enter
+        the dispatch loop.
+        """
+        if self.whole:
+            if not indent:
+                self.chain_next = (delta, target)
+                return
+            self.emit(f"{indent}ic += {delta}")
+            if target == self.chain_entry:
+                # Back-edge to the leaf's own entry: loop locally inside
+                # the leaf's inner ``while`` -- re-runs the entry fuel
+                # check without a dispatch round trip.
+                self.emit(f"{indent}continue")
+            else:
+                self.emit(f"{indent}{self.dispatch_var} = {target}")
+                self.emit(f"{indent}break")
+        else:
+            self.emit_exit(delta, str(target), indent)
+
+    def emit_trap_point(self, delta: int, indent: str = "") -> None:
+        """Record the exact retired count for the trap handler.
+
+        Emitted only on paths that are about to raise (or call a
+        helper that raises), never on the hot path.
+        """
+        self.uses_traps = True
+        self.emit(f"{indent}_tp = ic + {delta}")
+
+    def emit_fall_off_end(self, delta: int) -> None:
+        """Control fell off the last block: a wild PC, like the interpreter."""
+        self.uses_traps = True
+        self.emit(f"_tp = ic + {delta}")
+        self.emit(f"raise _GT(_TK_SEGV, "
+                  f"'control fell off the end of {self.func_name}')")
+
+    # ----------------------------------------------------- access runs
+    def _access_run_length(self, seg: list[Instruction],
+                           start: int) -> int:
+        """Length of the hoistable load/store run starting at ``start``.
+
+        A run is a maximal sequence of LOAD/STORE/FLOAD/FSTORE off one
+        integer base register (not rewritten mid-run; a load that
+        overwrites the base ends the run *after* itself) whose offsets
+        share an 8-byte residue, so one aligned span check covers every
+        access.
+        """
+        first = seg[start]
+        if first.op not in _ACCESS_OPS:
+            return 1
+        base = first.srcs[0]
+        if not isinstance(base, Register) or base.is_float:
+            return 1
+        base_slot = self.machine.slot_of(base)
+        residue = first.srcs[1].signed % 8
+        k = start
+        while k < len(seg):
+            instr = seg[k]
+            if instr.op not in _ACCESS_OPS:
+                break
+            b = instr.srcs[0]
+            if (not isinstance(b, Register) or b.is_float
+                    or self.machine.slot_of(b) != base_slot
+                    or instr.srcs[1].signed % 8 != residue):
+                break
+            k += 1
+            dest = instr.dest
+            if (isinstance(dest, Register) and not dest.is_float
+                    and self.machine.slot_of(dest) == base_slot):
+                break
+        return k - start
+
+    def _emit_access_run(self, seg: list[Instruction], start: int,
+                         count: int) -> None:
+        """One span check for a run of same-base accesses.
+
+        Fast path: every address in the run's span lies aligned inside
+        one segment, so each access is a bare ``cells`` op.  Slow path
+        (any doubt): the original per-access sequence, whose first
+        failing check traps at its exact icount -- the hoisted check is
+        sufficient-but-not-necessary, so falling back keeps trap
+        behavior bit-identical.
+        """
+        instrs = seg[start:start + count]
+        base_expr = self.ireg(instrs[0].srcs[0])
+        offs = [i.srcs[1].signed for i in instrs]
+        lo, hi = min(offs), max(offs)
+        span = hi - lo
+        self.uses_mem = True
+        mem = self.machine.memory
+        if lo:
+            self.emit(f"_a = ({base_expr} + {lo}) & {MASK64}")
+        else:
+            self.emit(f"_a = {base_expr}")
+        bounds = ((mem.global_lo, mem.global_hi),
+                  (mem.heap_lo, mem.heap_hi),
+                  (mem.stack_lo, mem.stack_hi))
+        if span:
+            seg_cond = " or ".join(
+                f"{b_lo} <= _a and _a + {span} < {b_hi}"
+                for b_lo, b_hi in bounds)
+        else:
+            seg_cond = " or ".join(
+                f"{b_lo} <= _a < {b_hi}" for b_lo, b_hi in bounds)
+        self.emit(f"if not (_a & 7) and ({seg_cond}):")
+        for instr, off in zip(instrs, offs):
+            delta_off = off - lo
+            addr = f"_a + {delta_off}" if delta_off else "_a"
+            op = instr.op
+            if op is Opcode.STORE:
+                value = instr.srcs[2]
+                expr = (repr(value.value) if isinstance(value, Imm)
+                        else self.ireg(value))
+                self.emit(f"    cells[{addr}] = {expr}")
+            elif op is Opcode.FSTORE:
+                value = instr.srcs[2]
+                expr = (_flit(float(value.value))
+                        if isinstance(value, FImm)
+                        else self.freg(value))
+                self.emit(f"    cells[{addr}] = {expr}")
+            elif op is Opcode.LOAD:
+                if self.int_cells:
+                    dest = self.iwrite(instr.dest)
+                    self.emit("    try:")
+                    self.emit(f"        {dest} = cells[{addr}]")
+                    self.emit("    except KeyError:")
+                    self.emit(f"        {dest} = 0")
+                else:
+                    self.emit("    try:")
+                    self.emit(f"        _v = cells[{addr}]")
+                    self.emit("    except KeyError:")
+                    self.emit("        _v = 0")
+                    self.emit("    if type(_v) is float:")
+                    self.emit("        _v = _f2b(_v)")
+                    self.emit(f"    {self.iwrite(instr.dest)} = _v")
+            else:  # FLOAD
+                self.emit("    try:")
+                self.emit(f"        _v = cells[{addr}]")
+                self.emit("    except KeyError:")
+                self.emit("        _v = 0")
+                self.emit("    if type(_v) is not float:")
+                self.emit("        _v = _b2f(_v)")
+                self.emit(f"    {self.fwrite(instr.dest)} = _v")
+        self.emit("else:")
+        saved = self._indent
+        self._indent = saved + "    "
+        for k, instr in enumerate(instrs):
+            self.emit_instruction(instr, start + k + 1)
+        self._indent = saved
+
+    # ------------------------------------------------------------- body
+    def emit_instruction(self, instr: Instruction, delta: int) -> bool:
+        """Emit one instruction; True when it always leaves the body."""
+        op = instr.op
+        # Recovery-block entry: the first instruction of a repair block
+        # is a NOP tagged RECOVERY/VOTE; the interpreter's run loop
+        # counts it at its exact dynamic icount.  Inline the same.
+        if instr.role in (Role.RECOVERY, Role.VOTE) and op is Opcode.NOP:
+            self.emit("m.recoveries += 1")
+            self.emit("if m.first_recovery_icount is None:")
+            self.emit(f"    m.first_recovery_icount = ic + {delta}")
+            return False
+        handler = _EMITTERS.get(op)
+        if handler is None:  # pragma: no cover - every opcode is mapped
+            raise _Uncompilable(op)
+        return handler(self, instr, delta)
+
+    def emit_body(self, block: int, entry: int,
+                  instrs: list[Instruction], nblocks: int) -> list[str]:
+        """Emit a block (suffix) body; returns and clears the lines."""
+        self.block = block
+        self.entry = entry
+        seg = instrs[entry:]
+        left = False
+        offset = 0
+        while offset < len(seg):
+            run = self._access_run_length(seg, offset)
+            if run >= 3:
+                self._emit_access_run(seg, offset, run)
+                offset += run
+                continue
+            if self.emit_instruction(seg[offset], offset + 1):
+                left = True
+                break
+            offset += 1
+        if not left:
+            # Fell off the end of the block: layout fallthrough.
+            if block + 1 < nblocks:
+                self.emit_transfer(len(seg), block + 1)
+            else:
+                self.emit_fall_off_end(len(seg))
+        lines = self.lines
+        self.lines = []
+        return lines
+
+    # ------------------------------------------------------------ assembly
+    def prologue_lines(self) -> list[str]:
+        lines = [f"{sym} = m.functions[{name!r}]"
+                 for name, sym in self.fn_syms.items()]
+        lines += self.frame_consts
+        if self.uses_int_file:
+            lines.append("regs = m.regs")
+            lines += [f"r{s} = regs[{s}]" for s in sorted(self.int_slots)]
+        if self.uses_float_file:
+            lines.append("fregs = m.fregs")
+            lines += [f"f{s} = fregs[{s}]"
+                      for s in sorted(self.float_slots)]
+        if self.uses_mem:
+            lines.append("cells = m.memory.cells")
+        return lines
+
+    def writeback_lines(self) -> list[str]:
+        lines = [f"regs[{s}] = r{s}" for s in sorted(self.int_writes)]
+        lines += [f"fregs[{s}] = f{s}" for s in sorted(self.float_writes)]
+        return lines
+
+    def assemble(self, name: str, args: str, body: list[str]) -> str:
+        """Wrap a body in the def/prologue/try skeleton, expanding
+        writeback markers (their indentation survives as a prefix)."""
+        writeback = self.writeback_lines()
+        out = [f"def {name}({args}):"]
+        indent = "    "
+        for line in self.prologue_lines():
+            out.append(indent + line)
+        if self.uses_traps:
+            # Trapping templates store the exact retired count in _tp
+            # *before* any side effect, and trapping operations never
+            # mutate state before raising, so the handler can write the
+            # dirty locals back and report a bit-identical icount.
+            # Inlined callee code shares this handler: its trap points
+            # are absolute (``ic`` runs through the inlined body) and
+            # its dirty slots are in this function's writeback set.
+            out.append(indent + "try:")
+            body_indent = indent * 2
+        else:
+            body_indent = indent
+        for line in body:
+            if line.endswith(_WB):
+                pad = body_indent + line[:-len(_WB)]
+                out += [pad + wb for wb in writeback]
+            else:
+                out.append(body_indent + line)
+        if self.uses_traps:
+            out.append(indent + "except _GT:")
+            out.append(indent * 2 + "m.icount = _tp")
+            for wb in writeback:
+                out.append(indent * 2 + wb)
+            out.append(indent * 2 + "raise")
+        return "\n".join(out)
+
+
+# ---------------------------------------------------------------- templates
+# Each emitter returns True when the instruction unconditionally leaves
+# the body.  ``delta`` counts instructions retired through (and
+# including) this one, relative to the body's first instruction.
+
+def _emit_binop(expr_fmt, signed=False):
+    # ``signed`` may be True (both operands two's-complement: signed
+    # compares use the order-preserving XOR bias, which is cheaper than
+    # sign-extending each operand) or "a" (first operand only -- SRA's
+    # value is signed but its shift count is raw; the shifted value
+    # needs true sign extension, not a bias).
+    def emit(e: _Emitter, instr: Instruction, delta: int) -> bool:
+        srcs = instr.srcs
+        if signed is True:
+            a = e.biased_expr(srcs[0])
+            b = e.biased_expr(srcs[1])
+        elif signed == "a":
+            a = e.signed_expr(srcs[0])
+            b = e.int_expr(srcs[1])
+        else:
+            a = e.int_expr(srcs[0])
+            b = e.int_expr(srcs[1])
+        e.emit(expr_fmt.format(d=e.iwrite(instr.dest), a=a, b=b, M=MASK64))
+        return False
+    return emit
+
+
+def _emit_divrem(is_rem: bool):
+    # Inlined two's-complement truncating division, exactly the
+    # interpreter's _op_div/_op_rem; the zero check carries the trap
+    # point so the hot path stays free of it (skipped entirely for a
+    # provably nonzero constant divisor).
+    word = "remainder" if is_rem else "division"
+
+    def emit(e: _Emitter, instr: Instruction, delta: int) -> bool:
+        divisor = instr.srcs[1]
+        d = e.iwrite(instr.dest)
+        if isinstance(divisor, Imm) and divisor.value == 0:
+            e.emit_trap_point(delta)
+            e.emit(f"raise _GT(_TK_DIVZ, 'integer {word} by zero')")
+            return True
+        if isinstance(divisor, Imm) and to_signed(divisor.value) > 0:
+            # Positive constant divisor: for a non-negative dividend,
+            # Python's floor division/modulo equal the truncating
+            # forms; for a negative one, negate through the identity
+            # trunc(x/b) = -((-x)//b), x rem b = -((-x) mod b).
+            bval = to_signed(divisor.value)
+            e.emit(f"_x = {e.int_expr(instr.srcs[0])}")
+            e.emit(f"if _x < {_TWO63}:")
+            op = "%" if is_rem else "//"
+            e.emit(f"    {d} = _x {op} {bval}")
+            e.emit("else:")
+            e.emit(f"    _x = {_TWO64} - _x")
+            e.emit(f"    {d} = (-(_x {op} {bval})) & {MASK64}")
+            return False
+        if not isinstance(divisor, Imm):
+            e.emit(f"if {e.ireg(divisor)} == 0:")
+            e.emit_trap_point(delta, indent="    ")
+            e.emit(f"    raise _GT(_TK_DIVZ, 'integer {word} by zero')")
+        e.emit(f"_x = {e.signed_expr(instr.srcs[0])}")
+        e.emit(f"_y = {e.signed_expr(divisor)}")
+        e.emit("_q = abs(_x) // abs(_y)")
+        e.emit("if (_x < 0) != (_y < 0):")
+        e.emit("    _q = -_q")
+        if is_rem:
+            e.emit(f"{d} = (_x - _q * _y) & {MASK64}")
+        else:
+            e.emit(f"{d} = _q & {MASK64}")
+        return False
+    return emit
+
+
+def _emit_unop(expr_fmt):
+    def emit(e: _Emitter, instr: Instruction, delta: int) -> bool:
+        a = e.int_expr(instr.srcs[0])
+        e.emit(expr_fmt.format(d=e.iwrite(instr.dest), a=a, M=MASK64))
+        return False
+    return emit
+
+
+def _emit_li(e, instr, delta):
+    e.emit(f"{e.iwrite(instr.dest)} = {instr.srcs[0].value!r}")
+    return False
+
+
+def _emit_mov(e, instr, delta):
+    src = instr.srcs[0]
+    if isinstance(src, Imm):
+        return _emit_li(e, instr, delta)
+    e.emit(f"{e.iwrite(instr.dest)} = {e.ireg(src)}")
+    return False
+
+
+def _emit_addr(e, base, offset: int) -> None:
+    e.uses_mem = True
+    if offset:
+        e.emit(f"_a = ({e.ireg(base)} + {offset}) & {MASK64}")
+    else:
+        e.emit(f"_a = {e.ireg(base)}")
+
+
+def _emit_load_miss(e, delta: int) -> None:
+    # ``cells`` keys are exactly the validly stored (aligned,
+    # in-segment) addresses plus the initial data image, so a
+    # subscript hit *proves* the address valid -- no per-load
+    # alignment/segment check on the hot path (zero-cost try on
+    # 3.11+).  Only a miss runs the interpreter's full check, which
+    # traps for a bad address and otherwise reads as zero.
+    e.emit("except KeyError:")
+    e.emit_trap_point(delta, indent="    ")
+    e.emit("    m.memory.check(_a)")
+
+
+def _emit_load(e, instr, delta):
+    _emit_addr(e, instr.srcs[0], instr.srcs[1].signed)
+    if e.int_cells:
+        dest = e.iwrite(instr.dest)
+        e.emit("try:")
+        e.emit(f"    {dest} = cells[_a]")
+        _emit_load_miss(e, delta)
+        e.emit(f"    {dest} = 0")
+        return False
+    e.emit("try:")
+    e.emit("    _v = cells[_a]")
+    _emit_load_miss(e, delta)
+    e.emit("    _v = 0")
+    e.emit("if type(_v) is float:")
+    e.emit("    _v = _f2b(_v)")
+    e.emit(f"{e.iwrite(instr.dest)} = _v")
+    return False
+
+
+def _emit_store_checked(e, expr: str, delta: int) -> None:
+    # A store must validate before inserting (it would otherwise
+    # corrupt the keys-are-valid-addresses invariant loads rely on),
+    # but an address already present was validated by whoever stored
+    # it first -- repeated stores (stack slots, accumulators) skip the
+    # check entirely.
+    e.emit("if _a in cells:")
+    e.emit(f"    cells[_a] = {expr}")
+    e.emit("else:")
+    mem = e.machine.memory
+    e.emit(f"    if _a & 7 or not ({mem.global_lo} <= _a < "
+           f"{mem.global_hi} or {mem.heap_lo} <= _a < "
+           f"{mem.heap_hi} or {mem.stack_lo} <= _a < "
+           f"{mem.stack_hi}):")
+    e.emit_trap_point(delta, indent="        ")
+    e.emit("        m.memory.check(_a)")
+    e.emit(f"    cells[_a] = {expr}")
+
+
+def _emit_store(e, instr, delta):
+    value = instr.srcs[2]
+    expr = repr(value.value) if isinstance(value, Imm) else e.ireg(value)
+    _emit_addr(e, instr.srcs[0], instr.srcs[1].signed)
+    _emit_store_checked(e, expr, delta)
+    return False
+
+
+_TESTS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _emit_branch(cmp_op, signed=False):
+    def emit(e: _Emitter, instr: Instruction, delta: int) -> bool:
+        target = e.block_index[instr.label]
+        srcs = instr.srcs
+        if isinstance(srcs[0], Imm) and isinstance(srcs[1], Imm):
+            # Constant branch: the interpreter folds it at compile time
+            # (signedness is irrelevant for ==/!= and applied for </>=).
+            a, b = to_signed(srcs[0].value), to_signed(srcs[1].value)
+            if _TESTS[cmp_op](a, b):
+                e.emit_transfer(delta, target)
+                return True
+            return False
+        if signed:
+            a = e.biased_expr(srcs[0])
+            b = e.biased_expr(srcs[1])
+        else:
+            a = e.int_expr(srcs[0])
+            b = e.int_expr(srcs[1])
+        e.emit(f"if {a} {cmp_op} {b}:")
+        e.emit_transfer(delta, target, indent="    ")
+        return False
+    return emit
+
+
+def _emit_jmp(e, instr, delta):
+    e.emit_transfer(delta, e.block_index[instr.label])
+    return True
+
+
+def _emit_call(e, instr, delta):
+    args = []
+    for src in instr.srcs:
+        if isinstance(src, Imm):
+            args.append(repr(src.value))
+        elif isinstance(src, FImm):
+            args.append(_flit(src.value))
+        elif src.is_float:
+            args.append(e.freg(src))
+        else:
+            args.append(e.ireg(src))
+    dest = -1
+    dest_float = False
+    if instr.dest is not None:
+        dest = e.machine.slot_of(instr.dest)
+        dest_float = instr.dest.is_float
+    resume = e.entry + delta    # absolute index within the block
+    summary = (e.call_summaries.get(instr.callee)
+               if e.whole and e.call_summaries is not None else None)
+    inline = summary is not None and summary[0]
+    if not inline:
+        # Push the return frame directly -- identical to the frame the
+        # interpreter's run loop builds (state_matches compares call
+        # stacks between jitted and interpreted runs) -- and side-exit
+        # to the dispatcher, which swaps in the callee.
+        e.emit(f"m.arg_stack.append([{', '.join(args)}])")
+        e.emit(f"m.call_stack.append((m.functions[{e.func_name!r}], "
+               f"{e.block}, {resume}, {dest}, {dest_float}))")
+        e.emit(f"m.pending_callee = m.functions[{instr.callee!r}]")
+        e.emit_exit(delta, "-2")
+        return True
+    caller_sym = e.fn_sym(e.func_name)
+    frame = f"_fr{len(e.frame_consts)}"
+    e.frame_consts.append(
+        f"{frame} = ({caller_sym}, {e.block}, {resume}, "
+        f"{dest}, {dest_float})")
+    kinds = []
+    for src in instr.srcs:
+        if isinstance(src, Imm):
+            kinds.append("int" if src.value & MASK64 == src.value
+                         else "raw")
+        elif isinstance(src, FImm) or src.is_float:
+            kinds.append("float")
+        else:
+            kinds.append("int")
+    e.emit(f"_args = [{', '.join(args)}]")
+    e.emit("m.arg_stack.append(_args)")
+    e.emit(f"m.call_stack.append({frame})")
+    # Inline leaf call: expand the callee's entire block structure in
+    # place, running on this function's locals -- the register file is
+    # shared between caller and callee, so no writeback, no preamble,
+    # and no reloads cross the boundary.  The frame pushed above is
+    # only consumed by side exits: a fuel stop at a callee block entry
+    # returns ``-7 - block`` with the callee pending (the dispatcher
+    # resumes the callee's standalone driver there), and traps/detect/
+    # exit leave mid-callee frames exactly as the interpreter would.
+    # A leaf contains no CALL, so inline expansion depth is one.  RET
+    # exits the callee dispatch loop and falls through to the
+    # continuation below, which hands back to the dispatcher (-4, frame
+    # still pushed) if the rest of this block no longer fits under
+    # ``stop``.
+    callee = instr.callee
+    cfunc = e.machine.functions[callee]
+    sym = e.fn_sym(callee)
+    need = (len(e.machine.functions[e.func_name].blocks[e.block].instrs)
+            - resume)
+    e.emit(f"ic += {delta}")
+    e.emit("_cb = 0")
+    e.emit("while True:")
+    e.emit("    if _cb < 0:")
+    e.emit("        break")
+    saved = (e.func_name, e.block_index, e.block, e.entry,
+             e.chain_entry, e.chain_next, e.dispatch_var, e.ret_break,
+             e.inline_arg_kinds, e.lines, e._indent,
+             e.machine._current_function)
+    e.func_name = callee
+    e.block_index = {blk.name: i for i, blk in enumerate(cfunc.blocks)}
+    e.dispatch_var = "_cb"
+    e.ret_break = True
+    e.inline_arg_kinds = kinds
+    e.lines = []
+    e._indent = ""
+    e.machine._current_function = callee
+    bodies = _render_block_loops(
+        e, cfunc,
+        lambda cur: [f"m.pending_callee = {sym}", f"return {-7 - cur}"])
+    tree = _dispatch_tree(bodies, 0, len(cfunc.blocks), "    ", "_cb")
+    (e.func_name, e.block_index, e.block, e.entry,
+     e.chain_entry, e.chain_next, e.dispatch_var, e.ret_break,
+     e.inline_arg_kinds, e.lines, e._indent,
+     e.machine._current_function) = saved
+    for line in tree:
+        e.emit(line)
+    if need:
+        e.emit(f"if ic + {need} > stop:")
+        e.emit("    " + _WB)
+        e.emit("    m.icount = ic")
+        e.emit("    return -4")
+    e.emit("m.call_stack.pop()")
+    e.emit("m.arg_stack.pop()")
+    # Rebase: continuation deltas are relative to this block's entry;
+    # fold the callee's retired count (and the call prefix already in
+    # ``ic``) back into the base.
+    e.emit(f"ic -= {delta}")
+    if dest >= 0:
+        e.emit("_rv = m.ret_value")
+        if dest_float:
+            d = e.fwrite(instr.dest)
+            e.emit(f"{d} = float(_rv) if _rv is not None else 0.0")
+        else:
+            d = e.iwrite(instr.dest)
+            e.emit(f"{d} = int(_rv) & {MASK64} if _rv is not None else 0")
+    return False
+
+
+def _emit_ret(e, instr, delta):
+    if instr.srcs:
+        src = instr.srcs[0]
+        if isinstance(src, Imm):
+            expr = repr(src.value)
+        elif isinstance(src, FImm):
+            expr = _flit(src.value)
+        elif src.is_float:
+            expr = e.freg(src)
+        else:
+            expr = e.ireg(src)
+    else:
+        expr = "None"
+    e.emit(f"m.ret_value = {expr}")
+    if e.ret_break:
+        # Inlined callee: leave the callee dispatch loop; the call-site
+        # continuation pops the frame and coerces the return value.
+        e.emit(f"ic += {delta}")
+        e.emit(f"{e.dispatch_var} = -1")
+        e.emit("break")
+        return True
+    e.emit_exit(delta, "-4")
+    return True
+
+
+def _emit_param(e, instr, delta):
+    idx = instr.srcs[0].value
+    kinds = e.inline_arg_kinds
+    if kinds is not None:
+        # Inline-expanded callee: the call site just pushed ``_args``
+        # with a statically known shape, so the bounds check resolves
+        # at compile time and known-kind arguments skip the coercion
+        # (int registers are invariantly masked; float registers are
+        # Python floats).
+        if idx >= len(kinds):
+            e.emit_trap_point(delta)
+            e.emit(f"raise _GT(_TK_ILLEGAL, "
+                   f"{f'param {idx} out of range'!r})")
+            return True
+        if instr.dest.is_float:
+            expr = (f"_args[{idx}]" if kinds[idx] == "float"
+                    else f"float(_args[{idx}])")
+            e.emit(f"{e.fwrite(instr.dest)} = {expr}")
+        else:
+            expr = (f"_args[{idx}]" if kinds[idx] == "int"
+                    else f"int(_args[{idx}]) & {MASK64}")
+            e.emit(f"{e.iwrite(instr.dest)} = {expr}")
+        return False
+    e.emit("_s = m.arg_stack")
+    e.emit(f"if not _s or {idx} >= len(_s[-1]):")
+    e.emit_trap_point(delta, indent="    ")
+    e.emit(f"    raise _GT(_TK_ILLEGAL, {f'param {idx} out of range'!r})")
+    if instr.dest.is_float:
+        e.emit(f"{e.fwrite(instr.dest)} = float(_s[-1][{idx}])")
+    else:
+        e.emit(f"{e.iwrite(instr.dest)} = int(_s[-1][{idx}]) & {MASK64}")
+    return False
+
+
+def _emit_print(e, instr, delta):
+    src = instr.srcs[0]
+    if isinstance(src, Imm):
+        e.emit(f"m.output.append({src.signed!r})")
+    else:
+        e.emit(f"m.output.append({e.signed_expr(src)})")
+    return False
+
+
+def _emit_fprint(e, instr, delta):
+    src = instr.srcs[0]
+    if isinstance(src, FImm):
+        e.emit(f"m.output.append({_flit(float(src.value))})")
+    else:
+        e.emit(f"m.output.append({e.freg(src)})")
+    return False
+
+
+def _emit_exit_op(e, instr, delta):
+    src = instr.srcs[0]
+    if isinstance(src, Imm):
+        e.emit(f"m.exit_code = {src.signed!r}")
+    else:
+        e.emit(f"m.exit_code = {e.signed_expr(src)}")
+    e.emit_exit(delta, "-3")
+    return True
+
+
+def _emit_detect(e, instr, delta):
+    e.emit_exit(delta, "-5")
+    return True
+
+
+def _emit_nop(e, instr, delta):
+    return False
+
+
+def _emit_fbinop(op_fmt):
+    def emit(e: _Emitter, instr: Instruction, delta: int) -> bool:
+        a = e.float_expr(instr.srcs[0])
+        b = e.float_expr(instr.srcs[1])
+        e.emit(op_fmt.format(d=e.fwrite(instr.dest), a=a, b=b))
+        return False
+    return emit
+
+
+def _emit_fcmp(cmp_op):
+    def emit(e: _Emitter, instr: Instruction, delta: int) -> bool:
+        a = e.freg(instr.srcs[0])
+        b = e.freg(instr.srcs[1])
+        e.emit(f"{e.iwrite(instr.dest)} = 1 if {a} {cmp_op} {b} else 0")
+        return False
+    return emit
+
+
+def _emit_fli(e, instr, delta):
+    e.emit(f"{e.fwrite(instr.dest)} = {_flit(float(instr.srcs[0].value))}")
+    return False
+
+
+def _emit_fmov(e, instr, delta):
+    src = instr.srcs[0]
+    if isinstance(src, FImm):
+        return _emit_fli(e, instr, delta)
+    e.emit(f"{e.fwrite(instr.dest)} = {e.freg(src)}")
+    return False
+
+
+def _emit_fneg(e, instr, delta):
+    e.emit(f"{e.fwrite(instr.dest)} = -{e.freg(instr.srcs[0])}")
+    return False
+
+
+def _emit_fload(e, instr, delta):
+    _emit_addr(e, instr.srcs[0], instr.srcs[1].signed)
+    e.emit("try:")
+    e.emit("    _v = cells[_a]")
+    _emit_load_miss(e, delta)
+    e.emit("    _v = 0")
+    e.emit("if type(_v) is not float:")
+    e.emit("    _v = _b2f(_v)")
+    e.emit(f"{e.fwrite(instr.dest)} = _v")
+    return False
+
+
+def _emit_fstore(e, instr, delta):
+    value = instr.srcs[2]
+    if isinstance(value, FImm):
+        expr = _flit(float(value.value))
+    else:
+        expr = e.freg(value)
+    _emit_addr(e, instr.srcs[0], instr.srcs[1].signed)
+    _emit_store_checked(e, expr, delta)
+    return False
+
+
+def _emit_cvtif(e, instr, delta):
+    src = instr.srcs[0]
+    if isinstance(src, Imm):
+        e.emit(f"{e.fwrite(instr.dest)} = {_flit(float(src.signed))}")
+    else:
+        e.emit(f"{e.fwrite(instr.dest)} = float({e.signed_expr(src)})")
+    return False
+
+
+def _emit_cvtfi(e, instr, delta):
+    s = e.freg(instr.srcs[0])
+    e.emit(f"if {s} != {s} or {s} == _INF or {s} == _NINF:")
+    e.emit_trap_point(delta, indent="    ")
+    e.emit(f'    raise _GT(_TK_BADCONV, f"cvtfi of {{{s}}}")')
+    e.emit(f"{e.iwrite(instr.dest)} = int({s}) & {MASK64}")
+    return False
+
+
+_EMITTERS = {
+    Opcode.ADD: _emit_binop("{d} = ({a} + {b}) & {M}"),
+    Opcode.SUB: _emit_binop("{d} = ({a} - {b}) & {M}"),
+    Opcode.MUL: _emit_binop("{d} = ({a} * {b}) & {M}"),
+    Opcode.DIV: _emit_divrem(False),
+    Opcode.REM: _emit_divrem(True),
+    Opcode.AND: _emit_binop("{d} = {a} & {b}"),
+    Opcode.OR: _emit_binop("{d} = {a} | {b}"),
+    Opcode.XOR: _emit_binop("{d} = {a} ^ {b}"),
+    Opcode.SHL: _emit_binop("{d} = ({a} << ({b} & 63)) & {M}"),
+    Opcode.SHR: _emit_binop("{d} = {a} >> ({b} & 63)"),
+    Opcode.SRA: _emit_binop("{d} = ({a} >> ({b} & 63)) & {M}",
+                            signed="a"),
+    Opcode.CMPEQ: _emit_binop("{d} = 1 if {a} == {b} else 0"),
+    Opcode.CMPNE: _emit_binop("{d} = 1 if {a} != {b} else 0"),
+    Opcode.CMPLT: _emit_binop("{d} = 1 if {a} < {b} else 0", signed=True),
+    Opcode.CMPLE: _emit_binop("{d} = 1 if {a} <= {b} else 0", signed=True),
+    Opcode.CMPGT: _emit_binop("{d} = 1 if {a} > {b} else 0", signed=True),
+    Opcode.CMPGE: _emit_binop("{d} = 1 if {a} >= {b} else 0", signed=True),
+    Opcode.CMPLTU: _emit_binop("{d} = 1 if {a} < {b} else 0"),
+    Opcode.CMPGEU: _emit_binop("{d} = 1 if {a} >= {b} else 0"),
+    Opcode.NEG: _emit_unop("{d} = (-{a}) & {M}"),
+    Opcode.NOT: _emit_unop("{d} = (~{a}) & {M}"),
+    Opcode.LI: _emit_li,
+    Opcode.MOV: _emit_mov,
+    Opcode.LOAD: _emit_load,
+    Opcode.STORE: _emit_store,
+    Opcode.BEQ: _emit_branch("=="),
+    Opcode.BNE: _emit_branch("!="),
+    Opcode.BLT: _emit_branch("<", signed=True),
+    Opcode.BGE: _emit_branch(">=", signed=True),
+    Opcode.JMP: _emit_jmp,
+    Opcode.CALL: _emit_call,
+    Opcode.RET: _emit_ret,
+    Opcode.PARAM: _emit_param,
+    Opcode.PRINT: _emit_print,
+    Opcode.FPRINT: _emit_fprint,
+    Opcode.EXIT: _emit_exit_op,
+    Opcode.DETECT: _emit_detect,
+    Opcode.NOP: _emit_nop,
+    Opcode.FADD: _emit_fbinop("{d} = {a} + {b}"),
+    Opcode.FSUB: _emit_fbinop("{d} = {a} - {b}"),
+    Opcode.FMUL: _emit_fbinop("{d} = {a} * {b}"),
+    Opcode.FDIV: _emit_fbinop("{d} = _fdiv({a}, {b})"),
+    Opcode.FNEG: _emit_fneg,
+    Opcode.FMOV: _emit_fmov,
+    Opcode.FLI: _emit_fli,
+    Opcode.FLOAD: _emit_fload,
+    Opcode.FSTORE: _emit_fstore,
+    Opcode.FCMPEQ: _emit_fcmp("=="),
+    Opcode.FCMPLT: _emit_fcmp("<"),
+    Opcode.FCMPLE: _emit_fcmp("<="),
+    Opcode.CVTIF: _emit_cvtif,
+    Opcode.CVTFI: _emit_cvtfi,
+}
+
+
+# ----------------------------------------------------------------- drivers
+def _dispatch_tree(bodies: dict[int, list[str]], lo: int, hi: int,
+                   indent: str, var: str = "bi") -> list[str]:
+    """Binary dispatch over block indices [lo, hi): O(log n) compares
+    per transition instead of a linear if-chain."""
+    if hi - lo == 1:
+        return [indent + line for line in bodies[lo]]
+    mid = (lo + hi) // 2
+    out = [f"{indent}if {var} < {mid}:"]
+    out += _dispatch_tree(bodies, lo, mid, indent + "    ", var)
+    out.append(f"{indent}else:")
+    out += _dispatch_tree(bodies, mid, hi, indent + "    ", var)
+    return out
+
+
+# Upper bound on blocks inlined into one dispatch entry's fallthrough/
+# JMP chain.  Bounds generated-code size at O(nblocks * _CHAIN_CAP)
+# bodies per function; chains usually end much earlier at a call,
+# return, or loop back-edge.
+_CHAIN_CAP = 16
+
+
+def _use_counts(machine: Machine, cfunc, summaries: dict | None = None
+                ) -> tuple[dict[int, int], dict[int, int]]:
+    """Loop-weighted static register-use counts for ``cfunc``.
+
+    Uses are counted with an 8x weight inside any backward-branch
+    interval (the classic interval approximation of a loop body).
+    SWIFT-R vote/repair blocks live past the function tail and branch
+    *back* into the main flow; counting those rarely-taken edges would
+    mark the whole function as loop body, so RECOVERY/VOTE edges are
+    skipped.  With ``summaries``, each inline-expanded CALL merges the
+    callee's own counts at the site's weight -- inlined code runs on
+    the caller's locals, so the callee's hot slots are the caller's.
+    """
+    nblocks = len(cfunc.blocks)
+    block_index = {blk.name: i for i, blk in enumerate(cfunc.blocks)}
+    loopy = [False] * nblocks
+    for j, blk in enumerate(cfunc.blocks):
+        for instr in blk.instrs:
+            if instr.op.kind in (OpKind.BRANCH, OpKind.JUMP):
+                if instr.role in (Role.RECOVERY, Role.VOTE):
+                    continue
+                t = block_index[instr.label]
+                if t <= j:
+                    for b in range(t, j + 1):
+                        loopy[b] = True
+    icounts: dict[int, int] = {}
+    fcounts: dict[int, int] = {}
+    for j, blk in enumerate(cfunc.blocks):
+        weight = 8 if loopy[j] else 1
+        for instr in blk.instrs:
+            for operand in (*instr.srcs, instr.dest):
+                if isinstance(operand, Register):
+                    slot = machine.slot_of(operand)
+                    counts = fcounts if operand.is_float else icounts
+                    counts[slot] = counts.get(slot, 0) + weight
+            if summaries is not None and instr.op is Opcode.CALL:
+                summary = summaries.get(instr.callee)
+                if summary is not None and summary[0]:
+                    for s, c in summary[1].items():
+                        icounts[s] = icounts.get(s, 0) + weight * c
+                    for s, c in summary[2].items():
+                        fcounts[s] = fcounts.get(s, 0) + weight * c
+    return icounts, fcounts
+
+
+def _plan_locals(machine: Machine, cfunc,
+                 summaries: dict) -> tuple[set[int], set[int]]:
+    """Choose the register slots a driver promotes to Python locals.
+
+    A promoted slot costs one preamble read plus one writeback line at
+    every side exit, on *every* activation.  An in-place ``regs[s]``
+    access costs one extra index per use but nothing at activation
+    boundaries.  A slot is promoted when its weighted uses (including
+    uses inside inline-expanded callees, which share this function's
+    locals) beat the activation overhead.
+    """
+    icounts, fcounts = _use_counts(machine, cfunc, summaries)
+    local_int = {s for s, c in icounts.items() if c >= 3}
+    local_float = {s for s, c in fcounts.items() if c >= 3}
+    return local_int, local_float
+
+
+def _call_summaries(machine: Machine) -> dict:
+    """Per function: can a CALL to it be inline-expanded, plus counts.
+
+    A callee is inline-eligible when it is a *leaf* (no CALL anywhere,
+    bounding inline expansion depth at one) and every opcode has a
+    template (the same condition under which its own driver compiles,
+    so the ``-7 - block`` fuel-stop protocol always has a standalone
+    driver to resume into).  The use counts feed the callers' local
+    plans: inlined code runs on the caller's locals.
+    """
+    saved = machine._current_function
+    summaries: dict[str, tuple] = {}
+    try:
+        for name, cfunc in machine.functions.items():
+            machine._current_function = name
+            inline = True
+            for blk in cfunc.blocks:
+                for instr in blk.instrs:
+                    if instr.op is Opcode.CALL or instr.op not in _EMITTERS:
+                        inline = False
+            if inline:
+                icounts, fcounts = _use_counts(machine, cfunc)
+                summaries[name] = (True, icounts, fcounts)
+            else:
+                summaries[name] = (False, {}, {})
+    finally:
+        machine._current_function = saved
+    return summaries
+
+
+def _render_driver(machine: Machine, cfunc, block_index: dict[str, int],
+                   int_cells: bool, summaries: dict) -> str:
+    """One generated function executing whole blocks of ``cfunc``.
+
+    ``driver(m, ic, stop, bi)`` runs from block ``bi`` until a side
+    exit, checking at each block entry that the block fits under
+    ``stop`` (else it returns ``bi`` with ``m.icount`` synced, and the
+    interpreter takes over at that exact boundary).  Unconditional
+    fallthrough/JMP successors are emitted inline -- registers stay in
+    locals and no dispatch happens across them -- which is what fuses
+    SWIFT-R's tiny check-and-branch blocks into straight-line code.
+    Every block still performs its own entry fuel check, so the
+    pause-safety predicate is per-block-activation regardless of
+    inlining (the profiler's coverage simulation relies on this).
+    """
+    local_int, local_float = _plan_locals(machine, cfunc, summaries)
+    emitter = _Emitter(machine, cfunc.name, block_index, whole=True,
+                       int_cells=int_cells, local_int=local_int,
+                       local_float=local_float, call_summaries=summaries)
+    bodies = _render_block_loops(emitter, cfunc,
+                                 lambda cur: [f"return {cur}"])
+    dispatch = _dispatch_tree(bodies, 0, len(cfunc.blocks), "    ")
+    loop = ["while True:"] + dispatch
+    return emitter.assemble("_driver", "m, ic, stop, bi", loop)
+
+
+def _render_block_loops(emitter: _Emitter, cfunc, fuel_stop
+                        ) -> dict[int, list[str]]:
+    """Leaf-loop bodies for every block of ``cfunc``.
+
+    Each leaf is its own inner loop: a back-edge to the leaf's entry
+    block is a bare ``continue`` (no dispatch round trip, re-running
+    the entry fuel check); transfers anywhere else ``break`` back out
+    to the binary dispatch after assigning ``emitter.dispatch_var``.
+    ``fuel_stop(cur)`` supplies the exit lines for a block that cannot
+    complete under ``stop`` (emitted after writeback and icount sync):
+    a driver returns the block index; an inlined callee returns the
+    ``-7 - block`` encoding with the callee pending.
+    """
+    nblocks = len(cfunc.blocks)
+    bodies: dict[int, list[str]] = {}
+    for b in range(nblocks):
+        chain: list[str] = []
+        emitter.chain_entry = b
+        visited = {b}
+        cur = b
+        while True:
+            blk = cfunc.blocks[cur]
+            n = len(blk.instrs)
+            if n:
+                # Pause-safety fuel check: never start a block that
+                # could cross the stop boundary; the interpreter owns
+                # pauses (and any early branch out of the block).
+                chain.append(f"if ic + {n} > stop:")
+                chain.append("    " + _WB)
+                chain.append("    m.icount = ic")
+                chain += ["    " + line for line in fuel_stop(cur)]
+            emitter.chain_next = None
+            chain += emitter.emit_body(cur, 0, blk.instrs, nblocks)
+            nxt = emitter.chain_next
+            if nxt is None:
+                break
+            delta, target = nxt
+            if delta:
+                chain.append(f"ic += {delta}")
+            if target == b:
+                chain.append("continue")
+                break
+            if target in visited or len(visited) >= _CHAIN_CAP:
+                chain.append(f"{emitter.dispatch_var} = {target}")
+                chain.append("break")
+                break
+            visited.add(target)
+            cur = target
+        bodies[b] = ["while True:"] + ["    " + line for line in chain]
+    return bodies
+
+
+def _render_resume(machine: Machine, cfunc, block_index: dict[str, int],
+                   b: int, entry: int, name: str, int_cells: bool) -> str:
+    """A standalone segment for the post-``CALL`` suffix of a block."""
+    emitter = _Emitter(machine, cfunc.name, block_index, whole=False,
+                       int_cells=int_cells)
+    body = emitter.emit_body(b, entry, cfunc.blocks[b].instrs,
+                             len(cfunc.blocks))
+    return emitter.assemble(name, "m, ic", body)
+
+
+def _compile_function(machine: Machine, cfunc, int_cells: bool,
+                      summaries: dict):
+    machine._current_function = cfunc.name
+    block_index = {blk.name: idx for idx, blk in enumerate(cfunc.blocks)}
+    pieces: list[str] = []
+    resume_specs: list[tuple[int, int, str, int]] = []
+    count = 0
+    try:
+        pieces.append(_render_driver(
+            machine, cfunc, block_index, int_cells, summaries))
+        count += 1
+        for b, blk in enumerate(cfunc.blocks):
+            for j, instr in enumerate(blk.instrs):
+                if instr.op is Opcode.CALL and j + 1 < len(blk.instrs):
+                    name = f"_resume_{b}_{j + 1}"
+                    pieces.append(_render_resume(
+                        machine, cfunc, block_index, b, j + 1, name,
+                        int_cells))
+                    resume_specs.append((b, j + 1, name,
+                                         len(blk.instrs) - (j + 1)))
+                    count += 1
+    except _Uncompilable:
+        # An opcode without a template: leave the whole function to the
+        # interpreter (the dispatch loop handles a missing driver).
+        return (None, {}), "", 0
+    source = "\n\n".join(pieces)
+    namespace = dict(_GLOBALS)
+    code = compile(source, f"<jit:{cfunc.name}>", "exec")
+    exec(code, namespace)  # noqa: S102 - our own generated source
+    resumes = {(b, i): (namespace[name], need)
+               for b, i, name, need in resume_specs}
+    return (namespace["_driver"], resumes), source, count
+
+
+def compile_program(machine: Machine) -> JitProgram:
+    """Compile every function of ``machine``'s program."""
+    saved = machine._current_function
+    tables = {}
+    sources = {}
+    count = 0
+    # Floats can only reach memory via FSTORE or the initial data
+    # image; absent both, every LOAD can skip its coercion check.
+    int_cells = not any(
+        instr.op is Opcode.FSTORE
+        for cf in machine.functions.values()
+        for blk in cf.blocks for instr in blk.instrs
+    ) and not any(
+        isinstance(v, float) for v in machine._initial_cells.values()
+    )
+    try:
+        summaries = _call_summaries(machine)
+        for name, cfunc in machine.functions.items():
+            table, source, segments = _compile_function(
+                machine, cfunc, int_cells, summaries)
+            tables[name] = table
+            sources[name] = source
+            count += segments
+    finally:
+        machine._current_function = saved
+    return JitProgram(tables, sources, count)
+
+
+# One compiled JitProgram per *program identity*, shared by every
+# Machine (and so every campaign trial) executing that program.  Keyed
+# by id() with a weakref reaper so entries die with their programs;
+# slot assignment is deterministic per program, making the shared code
+# machine-independent.
+_CACHE: dict[int, tuple] = {}
+
+
+def jit_program_for(machine: Machine) -> JitProgram:
+    """The cached (or freshly compiled) :class:`JitProgram`."""
+    program = machine.program
+    key = id(program)
+    cached = _CACHE.get(key)
+    if cached is not None and cached[0]() is program:
+        return cached[1]
+    compiled = compile_program(machine)
+    try:
+        ref = weakref.ref(program, lambda _r, k=key: _CACHE.pop(k, None))
+    except TypeError:  # pragma: no cover - Program is always weakref-able
+        ref = (lambda p=program: p)
+    _CACHE[key] = (ref, compiled)
+    return compiled
+
+
+def attach_jit(machine: Machine) -> JitProgram:
+    """Attach (and cache-compile) a JIT to ``machine``; returns it."""
+    compiled = jit_program_for(machine)
+    machine.jit = compiled
+    return compiled

@@ -163,6 +163,14 @@ class Machine:
         # per run() call, never per instruction, and bit-identical
         # execution either way.
         self.profile = None
+        # Block-JIT hook: a repro.sim.jit.JitProgram, or None.  Same
+        # gating contract again -- one attribute check per run() call.
+        # Attached, run() executes compiled basic-block segments and
+        # side-exits into the interpreter for pauses, hangs, mid-block
+        # resumes, and uncompiled positions (see repro.sim.jit).
+        # Taint and profile take precedence: their mirror loops must
+        # observe every instruction.
+        self.jit = None
         self.reset()
 
     # ------------------------------------------------------------ register map
@@ -224,6 +232,8 @@ class Machine:
             return self._run_traced(limit)
         if self.profile is not None:
             return self._run_profiled(limit)
+        if self.jit is not None:
+            return self._run_jit(limit)
         hard_limit = self.max_instructions
         stop_at = hard_limit if limit is None else min(limit, hard_limit)
         func, block_idx, i = self._position
@@ -561,6 +571,184 @@ class Machine:
             self.icount = icount
             return self._finish(RunStatus.TRAPPED, trap)
 
+    def _run_jit(self, limit: int | None = None) -> RunResult:
+        """The :meth:`run` loop at compiled-function granularity.
+
+        At every block boundary (``i == 0``) the dispatcher enters the
+        current function's compiled driver, which executes whole blocks
+        with registers in Python locals and only returns at true side
+        exits (call/ret/exit/detect) or when the next block could cross
+        ``stop_at`` -- in which case it returns that block's index and
+        the interpreter fallback below runs it instruction by
+        instruction, taking the pause/hang at the exact icount.
+        Mid-block positions use the per-resume-point segment table
+        (post-``CALL`` suffixes) or the interpreter.  Compiled ``CALL``
+        code pushes its return frame itself, so the dispatcher only
+        swaps in the callee.  Bit-identical to the fast loop by
+        construction; ``tests/test_jit.py`` fuzzes the claim.
+        """
+        jit = self.jit
+        hard_limit = self.max_instructions
+        stop_at = hard_limit if limit is None else min(limit, hard_limit)
+        func, block_idx, i = self._position
+        driver, resumes = jit.tables(func.name)
+        icount = self.icount
+        try:
+            while True:
+                # ------------------------------ compiled dispatch
+                ran = False
+                if i == 0:
+                    if driver is not None:
+                        act = driver(self, icount, stop_at, block_idx)
+                        icount = self.icount
+                        if act >= 0:
+                            # Fuel stop: block ``act`` cannot complete
+                            # before stop_at; the interpreter owns the
+                            # pause (and any early branch out).
+                            block_idx = act
+                        else:
+                            ran = True
+                else:
+                    entry = resumes.get((block_idx, i))
+                    if entry is not None and icount + entry[1] <= stop_at:
+                        act = entry[0](self, icount)
+                        icount = self.icount
+                        ran = True
+                if ran:
+                    if act >= 0:
+                        block_idx = act
+                        i = 0
+                        continue
+                    if act == ACT_CALL:
+                        # The compiled CALL already pushed its frame.
+                        func = self.pending_callee
+                        driver, resumes = jit.tables(func.name)
+                        block_idx = 0
+                        i = 0
+                        continue
+                    if act == ACT_RET:
+                        if not self.call_stack:
+                            return self._finish(RunStatus.EXITED)
+                        func, block_idx, i, dest, dest_float = (
+                            self.call_stack.pop()
+                        )
+                        self.arg_stack.pop()
+                        if dest >= 0:
+                            value = self.ret_value
+                            if dest_float:
+                                self.fregs[dest] = (
+                                    float(value) if value is not None
+                                    else 0.0
+                                )
+                            else:
+                                self.regs[dest] = (
+                                    int(value) & MASK64
+                                    if value is not None else 0
+                                )
+                        driver, resumes = jit.tables(func.name)
+                        continue
+                    if act == ACT_EXIT:
+                        return self._finish(RunStatus.EXITED)
+                    if act == ACT_DETECT:
+                        return self._finish(RunStatus.DETECTED)
+                    if act <= -7:
+                        # Fuel stop inside an inline-called leaf: the
+                        # caller already pushed its frame and wrote its
+                        # state back; resume the callee (pending) at
+                        # block ``-7 - act``, where the fuel check
+                        # will hand the pause to the interpreter.
+                        func = self.pending_callee
+                        driver, resumes = jit.tables(func.name)
+                        block_idx = -7 - act
+                        i = 0
+                        continue
+                    raise SimulationError(f"bad jit action {act}")
+                # ------------------------------ interpreter side exit
+                block = func.blocks[block_idx]
+                steps = block.steps
+                n = len(steps)
+                advanced = False
+                while i < n:
+                    if icount >= stop_at:
+                        self.icount = icount
+                        self._position = (func, block_idx, i)
+                        if icount >= hard_limit:
+                            return self._finish(RunStatus.HANG)
+                        return RunResult(RunStatus.PAUSED,
+                                         instructions=icount)
+                    icount += 1
+                    act = steps[i](self)
+                    if act is None:
+                        i += 1
+                        continue
+                    if act >= 0:
+                        block_idx = act
+                        i = 0
+                        advanced = True
+                        break
+                    if act == ACT_CALL:
+                        self.call_stack.append(
+                            (func, block_idx, i + 1,
+                             self.pending_dest, self.pending_dest_float)
+                        )
+                        func = self.pending_callee
+                        driver, resumes = jit.tables(func.name)
+                        block_idx = 0
+                        i = 0
+                        advanced = True
+                        break
+                    if act == ACT_RET:
+                        if not self.call_stack:
+                            self.icount = icount
+                            return self._finish(RunStatus.EXITED)
+                        func, block_idx, i, dest, dest_float = (
+                            self.call_stack.pop()
+                        )
+                        self.arg_stack.pop()
+                        if dest >= 0:
+                            value = self.ret_value
+                            if dest_float:
+                                self.fregs[dest] = (
+                                    float(value) if value is not None
+                                    else 0.0
+                                )
+                            else:
+                                self.regs[dest] = (
+                                    int(value) & MASK64
+                                    if value is not None else 0
+                                )
+                        driver, resumes = jit.tables(func.name)
+                        advanced = True
+                        break
+                    if act == ACT_EXIT:
+                        self.icount = icount
+                        return self._finish(RunStatus.EXITED)
+                    if act == ACT_DETECT:
+                        self.icount = icount
+                        return self._finish(RunStatus.DETECTED)
+                    if act == ACT_RECOVER:
+                        self.recoveries += 1
+                        if self.first_recovery_icount is None:
+                            self.first_recovery_icount = icount
+                        i += 1
+                        continue
+                    raise SimulationError(f"bad step action {act}")
+                if not advanced:
+                    block_idx += 1
+                    i = 0
+                    if block_idx >= len(func.blocks):
+                        raise GuestTrap(
+                            TrapKind.SEGFAULT,
+                            f"control fell off the end of {func.name}",
+                        )
+        except GuestTrap as trap:
+            # Compiled segments report their exact retired count into
+            # self.icount before re-raising; the interpreter path's
+            # count lives in the local.  Whichever ran last is larger.
+            if icount > self.icount:
+                self.icount = icount
+            return self._finish(RunStatus.TRAPPED, trap)
+
     # ----------------------------------------------------- checkpoint/restore
     def snapshot(self) -> MachineSnapshot:
         """Capture the complete architectural state at a pause boundary.
@@ -604,6 +792,13 @@ class Machine:
         self.arg_stack = list(snap.arg_stack)
         self.call_stack = list(snap.call_stack)
         self.ret_value = None
+        # Rebind transient call-transfer state: a restore may land in
+        # the middle of a compiled block (the JIT dispatch loop then
+        # re-enters through the interpreter fallback), and no stale
+        # pending-call residue from the abandoned run may leak in.
+        self.pending_callee = None
+        self.pending_dest = -1
+        self.pending_dest_float = False
         self._position = snap.position
         self._finished = None
 

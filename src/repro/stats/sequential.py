@@ -40,6 +40,7 @@ from ..obs.campaign_log import CampaignLog
 from ..obs.metrics import registry as obs_registry
 from ..obs.spans import enabled as obs_enabled, span
 from ..sim.events import RunStatus
+from ..sim.jit import attach_jit
 from ..sim.machine import Machine
 from .allocation import neyman_allocation
 from .estimators import StratifiedEstimate, StratumCell, stratified_estimate
@@ -221,11 +222,20 @@ class _Arm:
 
     def __init__(self, name: str, machine: Machine, weight: float,
                  config: AdaptiveConfig, seed: int,
-                 log: CampaignLog | None) -> None:
+                 log: CampaignLog | None, jit: bool = True) -> None:
         self.name = name
         self.machine = machine
         self.weight = weight
         self.log = log
+        self.jit = jit
+        # Attach (or detach) the block JIT before the checkpoint build
+        # so the golden run and every batch trial use it; restored by
+        # _run_engine because machines are shared across campaigns.
+        self.saved_jit = machine.jit
+        if jit:
+            attach_jit(machine)
+        else:
+            machine.jit = None
         self.store = CheckpointStore(machine)
         self.golden = self.store.build()
         if self.golden.status is not RunStatus.EXITED:
@@ -318,7 +328,8 @@ class _Arm:
         shard_result = run_parallel_campaign(
             self.machine.program, sites=sites, jobs=jobs,
             machine=self.machine,
-            max_instructions=self.machine.max_instructions, log=scratch)
+            max_instructions=self.machine.max_instructions, log=scratch,
+            jit=self.jit)
         self.result = self.result.merged(shard_result)
         outcomes = []
         for record in scratch.records:
@@ -346,6 +357,39 @@ def _run_engine(arms: list[_Arm], config: AdaptiveConfig,
     target_met = False
     batch_index = 0
     start_time = perf_counter()
+    try:
+        result = _run_engine_batches(
+            arms, config, jobs, monitor, all_cells, n_cells, batches)
+        total, target_met = result
+    finally:
+        # Machines outlive the engine (prepare_machine caches them);
+        # leave their JIT attachment as the arms found it.
+        for arm in arms:
+            arm.machine.jit = arm.saved_jit
+    elapsed = perf_counter() - start_time
+    if total > 0:
+        for arm in arms:
+            arm.result.elapsed_seconds = (elapsed * arm.result.trials
+                                          / total)
+    final_cells = {c.key: c for c in all_cells()}
+    return AdaptiveResult(
+        config=config,
+        estimate=stratified_estimate(list(final_cells.values()),
+                                     config.confidence),
+        trials=total,
+        target_met=target_met,
+        batches=batches,
+        cells=final_cells,
+        arm_results={arm.name: arm.result for arm in arms},
+        arm_strata={arm.name: arm.strata_outcomes() for arm in arms},
+    )
+
+
+def _run_engine_batches(arms, config, jobs, monitor, all_cells,
+                        n_cells, batches) -> tuple[int, bool]:
+    total = 0
+    target_met = False
+    batch_index = 0
     while total < config.max_trials:
         budget = min(config.batch_size, config.max_trials - total)
         if batch_index == 0:
@@ -395,27 +439,9 @@ def _run_engine(arms: list[_Arm], config: AdaptiveConfig,
             break
         if ran == 0:  # allocation starved (cap smaller than strata)
             break
-    # Attribute engine wall time to arms by trial share: per-arm
-    # elapsed then sums back to the true campaign wall clock, and the
-    # parallel path's merged per-shard sums are replaced by the more
-    # honest end-to-end measurement.
-    elapsed = perf_counter() - start_time
-    if total > 0:
-        for arm in arms:
-            arm.result.elapsed_seconds = (elapsed * arm.result.trials
-                                          / total)
-    final_cells = {c.key: c for c in all_cells()}
-    return AdaptiveResult(
-        config=config,
-        estimate=stratified_estimate(list(final_cells.values()),
-                                     config.confidence),
-        trials=total,
-        target_met=target_met,
-        batches=batches,
-        cells=final_cells,
-        arm_results={arm.name: arm.result for arm in arms},
-        arm_strata={arm.name: arm.strata_outcomes() for arm in arms},
-    )
+    # Per-arm elapsed is attributed by _run_engine from the end-to-end
+    # wall clock; this helper only reports the trial totals.
+    return total, target_met
 
 
 def run_adaptive_campaign(
@@ -429,17 +455,20 @@ def run_adaptive_campaign(
     max_instructions: int = 10_000_000,
     name: str = "campaign",
     monitor=None,
+    jit: bool | None = None,
 ) -> AdaptiveResult:
     """Adaptively campaign one binary until the metric's CI is tight.
 
     A ``monitor`` :class:`~repro.obs.monitor.CampaignMonitor` receives
     one progress update per batch: total trials so far, the CI-width
     trajectory, and a shrinkage-based projection of the trials still
-    needed.
+    needed.  ``jit`` defaults to on (the adaptive path never traces or
+    profiles); results are bit-identical either way.
     """
     config = config or AdaptiveConfig()
     machine = machine or Machine(program, max_instructions=max_instructions)
-    arm = _Arm(name, machine, 1.0, config, seed, log)
+    arm = _Arm(name, machine, 1.0, config, seed, log,
+               jit=jit if jit is not None else True)
     return _run_engine([arm], config, jobs, monitor=monitor)
 
 
@@ -451,6 +480,7 @@ def run_adaptive_suite(
     jobs: int = 1,
     logs: dict[str, CampaignLog] | None = None,
     monitor=None,
+    jit: bool | None = None,
 ) -> AdaptiveResult:
     """Adaptively campaign a suite of binaries as equal-weight arms.
 
@@ -465,7 +495,8 @@ def run_adaptive_suite(
     weight = 1.0 / len(machines)
     arms = [
         _Arm(name, machine, weight, config, seed,
-             (logs or {}).get(name))
+             (logs or {}).get(name),
+             jit=jit if jit is not None else True)
         for name, machine in machines
     ]
     return _run_engine(arms, config, jobs, monitor=monitor)
