@@ -13,6 +13,8 @@ Subcommands:
 * ``obs export-trace PATH``      convert telemetry to a Chrome trace
 * ``obs hotspots``               simulator hot-block / JIT-candidate report
 * ``obs top PATH``               follow a live campaign's heartbeat file
+* ``obs atlas``                  program-anchored reliability map
+* ``obs convergence``            stratum coverage / CI convergence audit
 * ``bench``                      run the bench suite, gate vs baselines
 
 ``campaign``, ``fig8``, and ``fig9`` accept ``--telemetry PATH`` to
@@ -90,9 +92,10 @@ def _cmd_campaign(args) -> int:
 
     sink = open_sink(args.telemetry)
     log = None
-    if sink is not None or args.taint:
+    if sink is not None or args.taint or (args.atlas and args.adaptive):
         # Taint tracing needs a log to collect event streams even when
         # nothing is exported: forensics renders from the log directly.
+        # (Adaptive atlases also anchor from the log, post-hoc.)
         log = CampaignLog(context={"source": args.file,
                                    "technique": args.technique.value,
                                    "seed": args.seed})
@@ -119,11 +122,16 @@ def _cmd_campaign(args) -> int:
         from .obs import SimProfiler
 
         profile = SimProfiler()
+    atlas = None
+    if args.atlas:
+        from .obs import AtlasAccumulator
+
+        atlas = AtlasAccumulator()
     campaign = run_parallel_campaign(binary, trials=args.trials,
                                      seed=args.seed, jobs=args.jobs,
                                      log=log, taint=args.taint,
                                      profile=profile, monitor=monitor,
-                                     jit=args.jit)
+                                     jit=args.jit, atlas=atlas)
     if monitor is not None:
         monitor.finish()
     print(f"technique : {args.technique.label}")
@@ -134,8 +142,18 @@ def _cmd_campaign(args) -> int:
     if campaign.detected_percent:
         print(f"detected  : {campaign.detected_percent:6.2f}%")
     print(f"repairs   : fired in {campaign.recoveries} runs")
-    print(f"elapsed   : {campaign.elapsed_seconds:6.2f}s "
-          f"({campaign.trials_per_sec:.1f} trials/s)")
+    # Sub-resolution campaigns report no rate rather than a nonsense one.
+    rate = (f"{campaign.trials_per_sec:.1f} trials/s"
+            if campaign.elapsed_seconds > 0 else "rate n/a")
+    print(f"elapsed   : {campaign.elapsed_seconds:6.2f}s ({rate})")
+    if atlas is not None:
+        from .obs import Atlas
+
+        _write_atlas(args.atlas, Atlas.from_accumulator(
+            atlas, context={"source": args.file,
+                            "technique": args.technique.value,
+                            "seed": args.seed,
+                            "trials": campaign.trials}))
     if profile is not None:
         _write_profile(args.profile, profile,
                        context={"source": args.file,
@@ -170,6 +188,16 @@ def _write_profile(path: str, profile, context: dict) -> None:
     print(f"profile   : {profile.total_instructions} instructions over "
           f"{blocks} blocks -> {path}")
     print(f"            (render with: python -m repro obs hotspots {path})")
+
+
+def _write_atlas(path: str, atlas) -> None:
+    """Save an atlas artifact and say how to render it."""
+    atlas.save(path)
+    sites = sum(1 for site in atlas.payload["sites"]
+                if not site["loc"].startswith("("))
+    print(f"atlas     : {atlas.trials} trials anchored to {sites} "
+          f"instructions -> {path}")
+    print(f"            (render with: python -m repro obs atlas {path})")
 
 
 def _adaptive_campaign(args, binary, sink, log, monitor=None) -> int:
@@ -207,20 +235,31 @@ def _adaptive_campaign(args, binary, sink, log, monitor=None) -> int:
     if campaign.elapsed_seconds > 0:
         print(f"elapsed   : {campaign.elapsed_seconds:6.2f}s "
               f"({campaign.trials_per_sec:.1f} trials/s)")
+    context = {"source": args.file, "technique": args.technique.value,
+               "seed": args.seed}
     if sink is not None:
         sink.write_many(log.to_dicts())
-        sink.write_many(result.batch_dicts(
-            context={"source": args.file,
-                     "technique": args.technique.value,
-                     "seed": args.seed}))
+        sink.write_many(result.batch_dicts(context=context))
+        sink.write_many(result.stratum_dicts(context=context))
         export_session(sink)
+    if args.atlas:
+        # Anchor post-hoc from the log (adaptive batches already carry
+        # per-trial strata) and weight by the fault space's population
+        # shares rather than the realized -- Neyman-skewed -- sampling.
+        from .obs import atlas_from_records
+
+        weights = {r["stratum"]: r["weight"]
+                   for r in result.stratum_dicts()}
+        _write_atlas(args.atlas, atlas_from_records(
+            log.to_dicts(), Machine(binary), weights=weights,
+            context=dict(context, trials=campaign.trials)))
     return 0
 
 
 def _cmd_obs_summarize(args) -> int:
     from .obs.sink import summarize_path
 
-    print(summarize_path(args.path))
+    print(summarize_path(args.path, fmt=args.format))
     return 0
 
 
@@ -265,7 +304,7 @@ def _cmd_obs_hotspots(args) -> int:
         print("error: give a profile JSONL path or --workload NAME",
               file=sys.stderr)
         return 2
-    print(render_hotspots(records, top=args.top))
+    print(render_hotspots(records, top=args.top, fmt=args.format))
     return 0
 
 
@@ -273,7 +312,161 @@ def _cmd_obs_top(args) -> int:
     from .obs import follow_path
 
     return follow_path(args.path, interval=args.interval,
-                       iterations=1 if args.once else None)
+                       iterations=1 if args.once else None,
+                       stale_after=args.stale_after)
+
+
+def _atlas_program(args, records):
+    """Resolve the binary the trials in ``records`` ran on.
+
+    The atlas must anchor onto the *same* binary the campaign injected
+    into, or the location strings are meaningless -- so the records'
+    own identity (benchmark / source / technique context keys) wins
+    over the command-line defaults.
+    """
+    trials = [r for r in records if r.get("kind") == "trial"]
+    cells = sorted({(r.get("benchmark", r.get("source", "?")),
+                     r.get("technique", "?")) for r in trials})
+    if len(cells) > 1:
+        print("error: telemetry mixes several campaign cells "
+              f"({', '.join('/'.join(c) for c in cells)}); export one "
+              "campaign per file to build an atlas", file=sys.stderr)
+        return None
+    sample = trials[0] if trials else {}
+    technique = args.technique
+    if "technique" in sample:
+        technique = _technique(str(sample["technique"]))
+    workload = str(sample.get("benchmark", "")) or args.workload
+    if workload in WORKLOADS:
+        from .eval.pipeline import prepare
+
+        return prepare(workload, technique)
+    source = str(sample.get("source", ""))
+    if source:
+        try:
+            return _load_binary(source, technique)
+        except OSError as exc:
+            print(f"error: cannot rebuild campaign binary: {exc}",
+                  file=sys.stderr)
+            return None
+    print("error: records name no benchmark or source file; pass "
+          "--workload NAME to anchor the atlas", file=sys.stderr)
+    return None
+
+
+def _cmd_obs_atlas(args) -> int:
+    import json
+
+    from .obs import Atlas, AtlasAccumulator, atlas_from_records
+    from .obs.sink import read_jsonl
+
+    program = None
+    if args.path:
+        # A saved atlas is one pretty-printed JSON document; telemetry
+        # is JSONL (one record per line), which json.loads rejects.
+        single = None
+        if not str(args.path).endswith(".gz"):
+            with open(args.path) as handle:
+                try:
+                    single = json.loads(handle.read())
+                except ValueError:
+                    single = None
+        if not (isinstance(single, dict)
+                and single.get("kind") == "atlas"):
+            # Telemetry JSONL: rebuild the binary and anchor onto it.
+            records = read_jsonl(args.path)
+            program = _atlas_program(args, records)
+            if program is None:
+                return 2
+            weights = {r["stratum"]: r["weight"] for r in records
+                       if r.get("kind") == "fault_space_stratum"
+                       and "stratum" in r} or None
+            atlas = atlas_from_records(
+                records, Machine(program), weights=weights,
+                context={"telemetry": args.path})
+        else:
+            # A saved atlas artifact: render it directly.  The heatmap
+            # needs the program back; rebuild it when the context (or
+            # --workload) says which one, else fall back to tables.
+            atlas = Atlas(single)
+            context = atlas.context
+            workload = str(context.get("benchmark", "")) or args.workload
+            technique = _technique(str(
+                context.get("technique", args.technique.value)))
+            if workload in WORKLOADS:
+                from .eval.pipeline import prepare
+
+                program = prepare(workload, technique)
+            elif context.get("source"):
+                try:
+                    program = _load_binary(str(context["source"]),
+                                           technique)
+                except OSError:
+                    program = None  # tables-only fallback
+    elif args.workload:
+        # One-shot mode: run a campaign on a suite workload with atlas
+        # accumulation (taint on by default so escape routes resolve).
+        from .eval.pipeline import prepare
+        from .faults import run_parallel_campaign
+
+        program = prepare(args.workload, args.technique)
+        acc = AtlasAccumulator()
+        run_parallel_campaign(program, trials=args.trials,
+                              seed=args.seed, jobs=args.jobs,
+                              taint=args.taint, atlas=acc)
+        atlas = Atlas.from_accumulator(
+            acc, context={"benchmark": args.workload,
+                          "technique": args.technique.value,
+                          "seed": args.seed, "trials": args.trials})
+    else:
+        print("error: give a telemetry/atlas path or --workload NAME",
+              file=sys.stderr)
+        return 2
+    if args.output:
+        _write_atlas(args.output, atlas)
+    if args.escapes:
+        with open(args.escapes, "w") as handle:
+            handle.write(atlas.escapes_json(args.top))
+            handle.write("\n")
+        print(f"escapes   : top {args.top} feed -> {args.escapes}")
+    if args.format == "json":
+        print(atlas.to_json())
+    else:
+        print(atlas.render(program=program, top=args.top))
+    return 0
+
+
+def _cmd_obs_convergence(args) -> int:
+    from .obs import convergence_tables, emit_tables
+    from .obs.sink import read_jsonl
+
+    if args.path:
+        records = read_jsonl(args.path)
+    elif args.workload:
+        # One-shot audit: run an adaptive campaign and feed its batch
+        # and stratum telemetry straight into the tables.
+        from .eval.pipeline import prepare
+        from .stats import AdaptiveConfig, run_adaptive_campaign
+
+        config = AdaptiveConfig(ci_width=args.ci_width / 100.0,
+                                confidence=args.confidence,
+                                metric=args.metric,
+                                max_trials=args.max_trials)
+        program = prepare(args.workload, args.technique)
+        result = run_adaptive_campaign(program, config=config,
+                                       seed=args.seed, jobs=args.jobs)
+        context = {"benchmark": args.workload,
+                   "technique": args.technique.value, "seed": args.seed}
+        records = (result.batch_dicts(context=context)
+                   + result.stratum_dicts(context=context))
+    else:
+        print("error: give a telemetry path or --workload NAME",
+              file=sys.stderr)
+        return 2
+    print(emit_tables(convergence_tables(records), args.format,
+                      kind="convergence",
+                      meta={"records": len(records)}))
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -377,6 +570,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="collect a deterministic simulator "
                                  "execution profile and write it here "
                                  "(render with 'obs hotspots')")
+    p_campaign.add_argument("--atlas", default="",
+                            help="write a program-anchored reliability "
+                                 "atlas (JSON) here; render with "
+                                 "'obs atlas PATH'")
     p_campaign.add_argument("--progress", action="store_true",
                             help="live progress line on stderr "
                                  "(trials/s, ETA)")
@@ -465,6 +662,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_summarize = obs_sub.add_parser(
         "summarize", help="render a JSONL telemetry file as tables")
     p_summarize.add_argument("path")
+    p_summarize.add_argument("--format", choices=["text", "json"],
+                             default="text",
+                             help="output format (default text)")
     p_summarize.set_defaults(func=_cmd_obs_summarize)
     p_forensics = obs_sub.add_parser(
         "forensics",
@@ -501,6 +701,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "dynamic instructions in compiled blocks)")
     p_hotspots.add_argument("--top", type=int, default=10,
                             help="blocks to show (default 10)")
+    p_hotspots.add_argument("--format", choices=["text", "json"],
+                            default="text",
+                            help="output format (default text)")
     p_hotspots.set_defaults(func=_cmd_obs_hotspots)
     p_top = obs_sub.add_parser(
         "top",
@@ -511,7 +714,75 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds between refreshes (default 2)")
     p_top.add_argument("--once", action="store_true",
                        help="render one snapshot and exit")
+    p_top.add_argument("--stale-after", type=float, default=60.0,
+                       help="flag shards whose last heartbeat is older "
+                            "than this many seconds as DEAD "
+                            "(default 60)")
     p_top.set_defaults(func=_cmd_obs_top)
+    p_atlas = obs_sub.add_parser(
+        "atlas",
+        help="program-anchored reliability map: per-instruction outcome "
+             "tallies, population-weighted, with escape routes")
+    p_atlas.add_argument("path", nargs="?", default="",
+                         help="telemetry JSONL (or a saved atlas JSON) "
+                              "to fold; omit to campaign --workload "
+                              "directly")
+    p_atlas.add_argument("--workload", default="",
+                         choices=["", *sorted(WORKLOADS)],
+                         help="run a one-shot campaign on this suite "
+                              "workload (or name the program a "
+                              "telemetry file ran on)")
+    p_atlas.add_argument("-t", "--technique", type=_technique,
+                         default=Technique.SWIFTR)
+    p_atlas.add_argument("--trials", type=int, default=60)
+    p_atlas.add_argument("--seed", type=int, default=0)
+    p_atlas.add_argument("--jobs", type=int, default=1,
+                         help="worker processes; the atlas is "
+                              "bit-identical for any value")
+    p_atlas.add_argument("--taint", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="trace dataflow in one-shot mode so SDC "
+                              "escape routes resolve (default on)")
+    p_atlas.add_argument("--top", type=int, default=10,
+                         help="sites/escapes to show (default 10)")
+    p_atlas.add_argument("-o", "--output", default="",
+                         help="also save the atlas JSON artifact here")
+    p_atlas.add_argument("--escapes", default="",
+                         help="write the ranked top-escapes JSON feed "
+                              "here")
+    p_atlas.add_argument("--format", choices=["text", "json"],
+                         default="text",
+                         help="print the heatmap report (text) or the "
+                              "raw atlas JSON")
+    p_atlas.set_defaults(func=_cmd_obs_atlas)
+    p_conv = obs_sub.add_parser(
+        "convergence",
+        help="audit an adaptive campaign: stratum coverage, CI "
+             "half-width timelines, allocation efficiency")
+    p_conv.add_argument("path", nargs="?", default="",
+                        help="telemetry JSONL with adaptive_batch / "
+                             "fault_space_stratum records; omit to run "
+                             "--workload one-shot")
+    p_conv.add_argument("--workload", default="",
+                        choices=["", *sorted(WORKLOADS)],
+                        help="run a one-shot adaptive campaign on this "
+                             "suite workload and audit it")
+    p_conv.add_argument("-t", "--technique", type=_technique,
+                        default=Technique.SWIFTR)
+    p_conv.add_argument("--seed", type=int, default=0)
+    p_conv.add_argument("--jobs", type=int, default=1)
+    p_conv.add_argument("--ci-width", type=float, default=2.5,
+                        help="target CI half-width in percentage points")
+    p_conv.add_argument("--confidence", type=float, default=0.95)
+    p_conv.add_argument("--max-trials", type=int, default=800,
+                        help="one-shot adaptive trial cap (default 800)")
+    p_conv.add_argument("--metric", default="unace",
+                        choices=["unace", "sdc", "segv", "failure",
+                                 "detected"])
+    p_conv.add_argument("--format", choices=["text", "json"],
+                        default="text",
+                        help="output format (default text)")
+    p_conv.set_defaults(func=_cmd_obs_convergence)
 
     p_bench = sub.add_parser(
         "bench",

@@ -67,8 +67,11 @@ def measure_campaign_suite(trials: int = DEFAULT_TRIALS,
     ``parallel``, ``taint`` (tracing on), ``taint_off_recheck`` (the
     gating re-measurement), ``profile`` (checkpointed with a
     :class:`~repro.obs.profile.SimProfiler` attached -- the profiler's
-    own overhead, recorded as a first-class datapoint), and the block
-    JIT pair: ``jit_serial`` (full replay, compiled) against
+    own overhead, recorded as a first-class datapoint), ``atlas``
+    (checkpointed with an
+    :class:`~repro.obs.atlas.AtlasAccumulator` folding every trial --
+    the reliability-map overhead, one golden anchoring replay
+    included), and the block JIT pair: ``jit_serial`` (full replay, compiled) against
     ``serial``, and ``jit`` (checkpointed, compiled) against
     ``checkpointed``.  The interpreter modes pin ``jit=False``
     explicitly -- they are the baselines the JIT speedups divide by.
@@ -82,7 +85,7 @@ def measure_campaign_suite(trials: int = DEFAULT_TRIALS,
     # Fresh machine per mode so no mode benefits from a warmed peer;
     # compilation happens outside the timed region either way.
     machines = [Machine(program, max_instructions=MAX_INSTRUCTIONS)
-                for _ in range(7)]
+                for _ in range(8)]
     jobs = jobs or max(2, min(4, os.cpu_count() or 1))
     timed = lambda label, runner, **kw: _timed(  # noqa: E731
         label, runner, workload=workload, technique=technique,
@@ -135,6 +138,18 @@ def measure_campaign_suite(trials: int = DEFAULT_TRIALS,
     )
     profile_rec["mode"] = "profile"
     profile_rec["profiled_instructions"] = profiler.total_instructions
+    from ..obs.atlas import AtlasAccumulator
+
+    atlas_acc = AtlasAccumulator()
+    atlased, atlas_rec = timed(
+        "atlas-on",
+        lambda: run_campaign(program, trials=trials, seed=seed,
+                             machine=machines[7], jit=False,
+                             atlas=atlas_acc),
+    )
+    atlas_rec["mode"] = "atlas"
+    atlas_rec["anchored_sites"] = sum(
+        1 for loc in atlas_acc.counts if not loc.startswith("("))
     jit_serial, jit_serial_rec = timed(
         "jit-serial",
         lambda: run_campaign(program, trials=trials, seed=seed,
@@ -156,6 +171,8 @@ def measure_campaign_suite(trials: int = DEFAULT_TRIALS,
                    / ckpt_rec["trials_per_sec"])
     profile_overhead = (ckpt_rec["trials_per_sec"]
                         / profile_rec["trials_per_sec"])
+    atlas_overhead = (ckpt_rec["trials_per_sec"]
+                      / atlas_rec["trials_per_sec"])
     jit_serial_speedup = (jit_serial_rec["trials_per_sec"]
                           / serial_rec["trials_per_sec"])
     jit_speedup = jit_rec["trials_per_sec"] / ckpt_rec["trials_per_sec"]
@@ -171,6 +188,7 @@ def measure_campaign_suite(trials: int = DEFAULT_TRIALS,
         "taint_on_trials_per_sec": taint_rec["trials_per_sec"],
         "taint_off_ratio": round(taint_ratio, 2),
         "profile_overhead": round(profile_overhead, 2),
+        "atlas_overhead": round(atlas_overhead, 2),
         "jit_trials_per_sec": jit_rec["trials_per_sec"],
         "jit_serial_speedup": round(jit_serial_speedup, 2),
         "jit_speedup": round(jit_speedup, 2),
@@ -179,11 +197,12 @@ def measure_campaign_suite(trials: int = DEFAULT_TRIALS,
         print(f"  checkpointing speedup: {ckpt_speedup:.2f}x "
               f"(parallel x{jobs}: {par_speedup:.2f}x, "
               f"taint-off recheck {taint_ratio:.2f}x, "
-              f"profiler overhead {profile_overhead:.2f}x)")
+              f"profiler overhead {profile_overhead:.2f}x, "
+              f"atlas overhead {atlas_overhead:.2f}x)")
         print(f"  jit speedup: {jit_serial_speedup:.2f}x full-replay, "
               f"{jit_speedup:.2f}x over checkpointed")
     records = [serial_rec, ckpt_rec, par_rec, taint_rec, recheck_rec,
-               profile_rec, jit_serial_rec, jit_rec, summary]
+               profile_rec, atlas_rec, jit_serial_rec, jit_rec, summary]
     results = {
         "serial": serial,
         "checkpointed": checkpointed,
@@ -191,6 +210,7 @@ def measure_campaign_suite(trials: int = DEFAULT_TRIALS,
         "taint": tainted,
         "taint_off_recheck": recheck,
         "profile": profiled,
+        "atlas": atlased,
         "jit_serial": jit_serial,
         "jit": jitted,
     }

@@ -31,6 +31,7 @@ GATED_METRICS: dict[tuple[str, str | None], tuple[tuple[str, str], ...]] = {
         ("parallel_speedup", "higher"),
         ("taint_off_ratio", "higher"),
         ("profile_overhead", "lower"),
+        ("atlas_overhead", "lower"),
         # The block JIT's headline numbers: absolute jit-on throughput
         # plus its speedups over both interpreter baselines, so a future
         # PR cannot silently regress the compiler.

@@ -159,6 +159,7 @@ def run_campaign(
     profile=None,
     monitor=None,
     jit: bool | None = None,
+    atlas=None,
 ) -> CampaignResult:
     """Run a full SEU campaign against ``program``.
 
@@ -203,8 +204,16 @@ def run_campaign(
     bit-identical either way; only throughput changes.  The machine's
     previous ``jit`` attachment is restored on return because machines
     are shared across campaigns (``prepare_machine`` caches them).
+
+    Pass an :class:`~repro.obs.atlas.AtlasAccumulator` as ``atlas`` to
+    fold the campaign's trials into a program-anchored reliability map.
+    Accumulation happens *after* the trial loop (one extra golden
+    replay to anchor the sampled sites); with ``atlas=None`` nothing
+    atlas-related runs.  When no ``log`` is supplied a scratch one is
+    created so the atlas still sees per-trial records (and taint
+    streams, if ``taint=True``).
     """
-    if taint and log is None:
+    if taint and log is None and atlas is None:
         raise ValueError("taint tracing requires a CampaignLog "
                          "to receive the event streams")
     machine = machine or Machine(program, max_instructions=max_instructions)
@@ -222,12 +231,28 @@ def run_campaign(
             # annotate which functions the JIT *would* run compiled so
             # `obs hotspots` can report coverage for --jit campaigns.
             profile.annotate_jit(machine)
+    atlas_log = log if atlas is None or log is not None else CampaignLog()
+    atlas_start = len(atlas_log.records) if atlas_log is not None else 0
     start_time = perf_counter()
     try:
         result = _run_campaign_trials(
-            machine, trials=trials, seed=seed, log=log,
+            machine, trials=trials, seed=seed, log=atlas_log,
             checkpoint_interval=checkpoint_interval, taint=taint,
             sites=sites, profile=profile, monitor=monitor)
+        if atlas is not None:
+            if profile is not None:
+                # The anchoring replay is bookkeeping, not simulated
+                # work: keep it out of the hot-path profile.
+                machine.profile = None
+            if (atlas.golden_instructions and atlas.golden_instructions
+                    != result.golden_instructions):
+                raise ValueError(
+                    "refusing to fold campaigns over different binaries "
+                    "into one atlas: golden runs executed "
+                    f"{atlas.golden_instructions} vs "
+                    f"{result.golden_instructions} instructions")
+            atlas.golden_instructions = result.golden_instructions
+            atlas.add_campaign(machine, atlas_log, log_start=atlas_start)
     finally:
         machine.jit = saved_jit
         if profile is not None:

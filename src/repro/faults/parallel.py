@@ -65,7 +65,7 @@ def _init_worker(program: Program, max_instructions: int,
                  taint: bool = False, profile: bool = False,
                  heartbeat_path: str | None = None,
                  heartbeat_every: int = 16,
-                 jit: bool = False) -> None:
+                 jit: bool = False, atlas: bool = False) -> None:
     """Compile this worker's machine and build its golden checkpoints."""
     # Workers must not inherit an enabled span collector from a
     # telemetry-on parent: their spans could never be drained.
@@ -87,10 +87,11 @@ def _init_worker(program: Program, max_instructions: int,
     _WORKER["profile"] = profile
     _WORKER["heartbeat_path"] = heartbeat_path
     _WORKER["heartbeat_every"] = heartbeat_every
+    _WORKER["atlas"] = atlas
 
 
 def _run_shard(task: tuple[int, int, list[FaultSite], str | None]
-               ) -> tuple[CampaignResult, object]:
+               ) -> tuple[CampaignResult, object, object]:
     """Run one contiguous shard of trials in a worker process.
 
     ``task`` is ``(shard_index, first_trial_index, sites,
@@ -101,17 +102,23 @@ def _run_shard(task: tuple[int, int, list[FaultSite], str | None]
     the same file, each stream in trial order, distinguishable by
     their ``kind`` field.
 
-    Returns ``(result, profiler_or_None)``.  A fresh profiler is
-    created per *shard* (not per worker: a pool process can run
-    several shards, and per-worker state would double-merge); the
-    worker's own golden/checkpoint run happened in the initializer and
-    is deliberately outside the profiled region, so merged shard
-    profiles equal the serial campaign's counts exactly.
+    Returns ``(result, profiler_or_None, atlas_or_None)``.  A fresh
+    profiler (and atlas accumulator) is created per *shard* (not per
+    worker: a pool process can run several shards, and per-worker state
+    would double-merge); the worker's own golden/checkpoint run
+    happened in the initializer and is deliberately outside the
+    profiled region, so merged shard profiles equal the serial
+    campaign's counts exactly.  The atlas accumulator holds only
+    integer tallies (weights are applied by the parent at export), so
+    merging shard atlases in shard order reproduces the serial atlas
+    bit for bit.
     """
     shard_index, first_trial, sites, record_path = task
     store: CheckpointStore = _WORKER["store"]
     golden = _WORKER["golden"]
-    taint = _WORKER.get("taint", False) and record_path is not None
+    atlas_on = _WORKER.get("atlas", False)
+    taint = _WORKER.get("taint", False) and (record_path is not None
+                                             or atlas_on)
     heartbeat_path = _WORKER.get("heartbeat_path")
     heartbeat = None
     if heartbeat_path is not None:
@@ -127,7 +134,8 @@ def _run_shard(task: tuple[int, int, list[FaultSite], str | None]
         profiler = SimProfiler()
         store.machine.profile = profiler
     result = CampaignResult(golden_instructions=golden.instructions)
-    log = CampaignLog() if record_path is not None else None
+    log = (CampaignLog() if record_path is not None or atlas_on
+           else None)
     try:
         for offset, site in enumerate(sites):
             tracker = TaintTracker() if taint else None
@@ -146,7 +154,17 @@ def _run_shard(task: tuple[int, int, list[FaultSite], str | None]
             store.machine.profile = None
     if profiler is not None and taint:
         profiler.taint_trials += len(sites)
-    if log is not None:
+    atlas = None
+    if atlas_on and log is not None:
+        from ..obs.atlas import AtlasAccumulator
+
+        atlas = AtlasAccumulator()
+        atlas.golden_instructions = golden.instructions
+        # Anchoring replays the golden run on the shard machine; the
+        # profiler (if any) is already detached, and the next shard's
+        # trials restore from checkpoints regardless of machine state.
+        atlas.add_campaign(store.machine, log)
+    if log is not None and record_path is not None:
         with open(record_path, "w") as handle:
             for record in log.to_dicts():
                 handle.write(json.dumps(record, separators=(",", ":")))
@@ -154,7 +172,7 @@ def _run_shard(task: tuple[int, int, list[FaultSite], str | None]
             for record in log.taint_dicts():
                 handle.write(json.dumps(record, separators=(",", ":")))
                 handle.write("\n")
-    return result, profiler
+    return result, profiler, atlas
 
 
 def _partition(sites: list[FaultSite], shards: int
@@ -198,6 +216,7 @@ def run_parallel_campaign(
     profile=None,
     monitor=None,
     jit: bool | None = None,
+    atlas=None,
 ) -> CampaignResult:
     """Run an SEU campaign sharded over ``jobs`` worker processes.
 
@@ -230,8 +249,13 @@ def run_parallel_campaign(
     ``jit`` follows :func:`run_campaign`'s contract (``None`` = on
     unless taint or profile); each worker attaches its own compiled
     JIT, so ``jobs=N`` stays bit-identical to serial either way.
+
+    An ``atlas`` :class:`~repro.obs.atlas.AtlasAccumulator` receives
+    every shard's program-anchored tallies, merged in shard (= trial)
+    order; because accumulators are integer-only, the merged atlas is
+    bit-identical to the one a serial campaign would have produced.
     """
-    if taint and log is None:
+    if taint and log is None and atlas is None:
         raise ValueError("taint tracing requires a CampaignLog "
                          "to receive the event streams")
     if jobs == 0:
@@ -244,7 +268,8 @@ def run_parallel_campaign(
                             machine=machine, log=log,
                             checkpoint_interval=checkpoint_interval,
                             taint=taint, sites=sites,
-                            profile=profile, monitor=monitor, jit=jit)
+                            profile=profile, monitor=monitor, jit=jit,
+                            atlas=atlas)
     if jit is None:
         jit = not taint and profile is None
     start_time = perf_counter()
@@ -297,7 +322,7 @@ def run_parallel_campaign(
                 initializer=_init_worker,
                 initargs=(program, max_instructions, checkpoint_interval,
                           taint, profile is not None, heartbeat_path,
-                          heartbeat_every, jit),
+                          heartbeat_every, jit, atlas is not None),
             ) as pool:
                 tasks = [(i, lo, shard, path)
                          for i, ((lo, shard), path)
@@ -308,10 +333,13 @@ def run_parallel_campaign(
                         monitor.refresh if monitor is not None else 1.0)
                     if monitor is not None:
                         monitor.shard_progress()
-                for shard_result, shard_profile in async_result.get():
+                for shard_result, shard_profile, shard_atlas \
+                        in async_result.get():
                     result = result.merged(shard_result)
                     if profile is not None and shard_profile is not None:
                         profile.merge_from(shard_profile)
+                    if atlas is not None and shard_atlas is not None:
+                        atlas.merge_from(shard_atlas)
         if log is not None:
             # Shards are read in trial order; within each file the trial
             # records precede the taint records, so appending by kind

@@ -78,13 +78,25 @@ def print_instruction(instr: Instruction) -> str:
     return format_instruction(instr) + _annotations(instr)
 
 
-def print_block(block: BasicBlock, indent: str = "    ") -> str:
+def print_block(block: BasicBlock, indent: str = "    ",
+                annotate=None) -> str:
+    """``annotate``, when given, is called as ``annotate(index, instr)``
+    and its return value prefixes that instruction's line -- a gutter
+    hook used by reporting layers (e.g. the atlas heatmap).  The label
+    line is not annotated and ``annotate=None`` keeps the classic
+    round-trippable output."""
     lines = [f"{block.name}:"]
-    lines.extend(indent + print_instruction(i) for i in block.instructions)
+    if annotate is None:
+        lines.extend(indent + print_instruction(i)
+                     for i in block.instructions)
+    else:
+        lines.extend(annotate(index, instr) + indent
+                     + print_instruction(instr)
+                     for index, instr in enumerate(block.instructions))
     return "\n".join(lines)
 
 
-def print_function(function: Function) -> str:
+def print_function(function: Function, annotate=None) -> str:
     header = f"func {function.name}({function.num_params})"
     if any(function.param_is_float):
         flags = "".join("f" if f else "i" for f in function.param_is_float)
@@ -93,11 +105,18 @@ def print_function(function: Function) -> str:
         header += " -> float"
     header += ":"
     parts = [header]
-    parts.extend(print_block(blk) for blk in function.blocks)
+    if annotate is None:
+        parts.extend(print_block(blk) for blk in function.blocks)
+    else:
+        parts.extend(
+            print_block(blk, annotate=(
+                lambda index, instr, _name=blk.name:
+                annotate(_name, index, instr)))
+            for blk in function.blocks)
     return "\n".join(parts)
 
 
-def print_program(program: Program) -> str:
+def print_program(program: Program, annotate=None) -> str:
     lines = []
     for var in program.globals.values():
         keyword = "globalf" if var.is_float else "global"
@@ -111,6 +130,11 @@ def print_program(program: Program) -> str:
     if lines:
         lines.append("")
     for fn in program:
-        lines.append(print_function(fn))
+        if annotate is None:
+            lines.append(print_function(fn))
+        else:
+            lines.append(print_function(fn, annotate=(
+                lambda block, index, instr, _name=fn.name:
+                annotate(_name, block, index, instr))))
         lines.append("")
     return "\n".join(lines)

@@ -17,7 +17,14 @@ The measurement substrate for everything quantitative in this repo:
 * :mod:`repro.obs.profile` -- deterministic simulator hot-path
   profiler and JIT-candidate report (``obs hotspots``);
 * :mod:`repro.obs.monitor` -- live campaign heartbeats, progress
-  lines, and the ``obs top`` follow mode.
+  lines, and the ``obs top`` follow mode;
+* :mod:`repro.obs.emit` -- the shared table model behind every report
+  renderer's ``--format text|json`` switch;
+* :mod:`repro.obs.atlas` -- program-anchored reliability maps: per
+  instruction outcome tallies, population-weighted, with escape-route
+  edges (``obs atlas``);
+* :mod:`repro.obs.convergence` -- stratum coverage and CI-convergence
+  audit over adaptive telemetry (``obs convergence``).
 
 Telemetry is **off by default**; ``enable()`` switches on span and
 metric collection process-wide.  Campaign logs are explicit (pass a
@@ -25,12 +32,21 @@ metric collection process-wide.  Campaign logs are explicit (pass a
 never costs anything when nobody asked for it.
 """
 
+from .atlas import (
+    ATLAS_SCHEMA_VERSION,
+    Atlas,
+    AtlasAccumulator,
+    atlas_from_records,
+    collect_site_locations,
+)
 from .campaign_log import (
     CampaignLog,
     TrialRecord,
     detection_icount,
     detection_latency,
 )
+from .convergence import convergence_tables
+from .emit import Table, emit_tables
 from .forensics import (
     MECHANISMS,
     ForensicsReport,
@@ -62,6 +78,9 @@ from .spans import Span, SpanCollector, collector, disable, enable, enabled, spa
 from .trace_export import chrome_trace, export_trace, export_trace_path
 
 __all__ = [
+    "ATLAS_SCHEMA_VERSION",
+    "Atlas",
+    "AtlasAccumulator",
     "CampaignLog",
     "CampaignMonitor",
     "Counter",
@@ -76,13 +95,18 @@ __all__ = [
     "SimProfiler",
     "Span",
     "SpanCollector",
+    "Table",
     "TrialRecord",
     "aggregate_shards",
     "analyze_log",
     "analyze_records",
+    "atlas_from_records",
     "chrome_trace",
     "classify_trial",
+    "collect_site_locations",
     "collector",
+    "convergence_tables",
+    "emit_tables",
     "detection_icount",
     "detection_latency",
     "disable",

@@ -62,6 +62,7 @@ class TrialRecord:
     detection_latency: int | None  # dynamic instrs injection -> check
     instructions: int              # dynamic length of the faulty run
     fault_landed: bool = True      # False: run ended before the flip
+    stratum: str | None = None     # stats.space stratum key, if sampled
 
     def to_dict(self, context: dict | None = None) -> dict:
         record = {"kind": "trial"}
@@ -80,6 +81,8 @@ class TrialRecord:
             instructions=self.instructions,
             fault_landed=self.fault_landed,
         )
+        if self.stratum is not None:
+            record["stratum"] = self.stratum
         return record
 
     @classmethod
@@ -109,12 +112,15 @@ class CampaignLog:
         self.taint_records: list[dict] = []
 
     def record_trial(self, trial: int, site: "FaultSite",
-                     outcome: "Outcome", faulty: RunResult) -> None:
+                     outcome: "Outcome", faulty: RunResult,
+                     stratum: str | None = None) -> None:
+        # Extension fault models (wild jumps, opcode flips) have no
+        # register/bit coordinates; record -1 so one schema covers all.
         self.records.append(TrialRecord(
             trial=trial,
             dynamic_index=site.dynamic_index,
-            reg_index=site.reg_index,
-            bit=site.bit,
+            reg_index=getattr(site, "reg_index", -1),
+            bit=getattr(site, "bit", -1),
             outcome=outcome.value,
             status=faulty.status.value,
             recovered=faulty.recoveries > 0,
@@ -125,6 +131,7 @@ class CampaignLog:
             # (same discriminant as repro.faults.injector.fault_landed,
             # restated here to keep obs free of a faults import).
             fault_landed=faulty.instructions > site.dynamic_index,
+            stratum=stratum,
         ))
 
     def record_taint(self, trial: int, tracker) -> None:

@@ -1,0 +1,93 @@
+"""Shared report emitter: one table model, two renderings.
+
+Every ``obs`` report used to build its ASCII tables inline, which made
+``--format json`` impossible without duplicating the aggregation.  The
+renderers now produce :class:`Table` objects -- title, columns, rows,
+plus free-form ``notes`` lines -- and this module renders a list of
+them either as the familiar aligned-text sections (via
+:func:`repro.eval.report.render_table`) or as one machine-consumable
+JSON document.
+
+Text rendering stringifies every cell; JSON rendering keeps native
+types (ints, floats, nested dicts) and strips the alignment padding
+from string cells, so consumers never have to re-parse columns that
+were formatted for a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+FORMATS = ("text", "json")
+
+
+@dataclass
+class Table:
+    """One report section: a titled table plus trailing note lines."""
+
+    title: str
+    columns: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        rows = [[cell.strip() if isinstance(cell, str) else cell
+                 for cell in row] for row in self.rows]
+        record = {"title": self.title, "columns": list(self.columns),
+                  "rows": rows}
+        if self.notes:
+            record["notes"] = list(self.notes)
+        return record
+
+
+def render_tables_text(tables: list[Table]) -> str:
+    """The classic ``obs`` output: aligned sections joined by blank
+    lines, each table's notes following its body."""
+    # Local import: repro.eval imports repro.obs, so importing the
+    # renderer at module scope would close an import cycle.
+    from ..eval.report import render_table
+
+    sections = []
+    for table in tables:
+        parts = []
+        if table.columns or table.rows:
+            parts.append(render_table(
+                table.columns,
+                [[str(cell) for cell in row] for row in table.rows],
+                title=table.title))
+        elif table.title:
+            parts.append(table.title)
+        if table.notes:
+            parts.append("\n".join(table.notes))
+        sections.append("\n\n".join(parts))
+    return "\n\n".join(sections)
+
+
+def render_tables_json(tables: list[Table], kind: str,
+                       meta: dict | None = None) -> str:
+    """One JSON document for the whole report: ``{"kind": ...,
+    <meta...>, "tables": [...]}``, stable key order."""
+    document: dict = {"kind": kind}
+    if meta:
+        document.update(meta)
+    document["tables"] = [table.to_dict() for table in tables]
+    return json.dumps(document, indent=1, sort_keys=False)
+
+
+def emit_tables(tables: list[Table], fmt: str = "text", *,
+                kind: str = "report", meta: dict | None = None,
+                empty: str = "(no records)") -> str:
+    """Render ``tables`` in the requested format (see :data:`FORMATS`).
+
+    ``empty`` is the text shown when there is nothing to render; the
+    JSON form keeps its envelope with an empty ``tables`` list so
+    consumers can still dispatch on ``kind``.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; pick one of {FORMATS}")
+    if fmt == "json":
+        return render_tables_json(tables, kind, meta)
+    if not tables:
+        return empty
+    return render_tables_text(tables)

@@ -242,27 +242,46 @@ class CampaignMonitor:
 
 
 # ------------------------------------------------------------- consumers
-def aggregate_shards(records: list[dict]) -> dict:
-    """Latest state per shard plus campaign-level aggregates."""
+def aggregate_shards(records: list[dict],
+                     stale_after: float | None = None,
+                     now: float | None = None) -> dict:
+    """Latest state per shard plus campaign-level aggregates.
+
+    With ``stale_after`` set, members whose last beat is older than
+    that many seconds (against ``now``, defaulting to the wall clock)
+    are listed in ``stale`` and excluded from the aggregate throughput
+    -- a dead worker's frozen counters would otherwise keep inflating
+    the campaign's apparent rate forever.  Finished shards are exempt:
+    their final beat is naturally their last.
+    """
     latest: dict[int, dict] = {}
     for record in records:
         if (record.get("kind") == "heartbeat"
                 and record.get("role") == "shard"
                 and "shard" in record):
             latest[record["shard"]] = record
+    done = [s for s, r in latest.items()
+            if r.get("total") and r["completed"] >= r["total"]]
+    stale: list[int] = []
+    if stale_after is not None:
+        now = time.time() if now is None else now
+        stale = sorted(
+            shard for shard, r in latest.items()
+            if shard not in done
+            and now - r.get("ts", now) > stale_after
+        )
     completed = sum(r.get("completed", 0) for r in latest.values())
     total = sum(r.get("total", 0) for r in latest.values())
-    rate = sum(r.get("trials_per_sec", 0.0) for r in latest.values())
+    rate = sum(r.get("trials_per_sec", 0.0)
+               for shard, r in latest.items() if shard not in stale)
     fractions = {
         shard: (r["completed"] / r["total"]) if r.get("total") else 1.0
         for shard, r in latest.items()
     }
-    done = [s for s, r in latest.items()
-            if r.get("total") and r["completed"] >= r["total"]]
     front = max(fractions.values(), default=0.0)
     stragglers = sorted(
         shard for shard, fraction in fractions.items()
-        if shard not in done and front > 0.0
+        if shard not in done and shard not in stale and front > 0.0
         and fraction < STRAGGLER_FRACTION * front
     )
     return {
@@ -272,13 +291,20 @@ def aggregate_shards(records: list[dict]) -> dict:
         "total": total,
         "trials_per_sec": round(rate, 2),
         "stragglers": stragglers,
+        "stale": stale,
         "latest": latest,
     }
 
 
-def render_top(records: list[dict], top_batches: int = 8) -> str:
+def render_top(records: list[dict], top_batches: int = 8,
+               stale_after: float | None = None,
+               now: float | None = None) -> str:
     """Render a point-in-time view of a (possibly growing) telemetry
-    or heartbeat file, ``top``-style."""
+    or heartbeat file, ``top``-style.
+
+    ``stale_after`` marks members whose last beat is older than that
+    many seconds as DEAD (see :func:`aggregate_shards`).
+    """
     from ..eval.report import render_table
 
     sections: list[str] = []
@@ -295,18 +321,27 @@ def render_top(records: list[dict], top_batches: int = 8) -> str:
             text += f", eta {last['eta_seconds']:.0f}s"
         if last.get("final"):
             text += " (finished)"
+        elif stale_after is not None:
+            reference = time.time() if now is None else now
+            if reference - last.get("ts", reference) > stale_after:
+                text += f" (DEAD: no beat in {stale_after:.0f}s)"
         sections.append(text)
 
-    summary = aggregate_shards(records)
+    summary = aggregate_shards(records, stale_after=stale_after, now=now)
     if summary["shards"]:
         rows = []
         for shard in sorted(summary["latest"]):
             record = summary["latest"][shard]
             total = record.get("total", 0)
             done = record.get("completed", 0)
-            flag = ("done" if total and done >= total
-                    else ("straggler" if shard in summary["stragglers"]
-                          else ""))
+            if total and done >= total:
+                flag = "done"
+            elif shard in summary["stale"]:
+                flag = "DEAD"
+            elif shard in summary["stragglers"]:
+                flag = "straggler"
+            else:
+                flag = ""
             rows.append([
                 str(shard),
                 f"{done}/{total or '?'}",
@@ -318,6 +353,9 @@ def render_top(records: list[dict], top_batches: int = 8) -> str:
         title = (f"Shards: {summary['done_shards']}/{summary['shards']} "
                  f"done, {summary['completed']}/{summary['total'] or '?'} "
                  f"trials at {summary['trials_per_sec']:.1f} trials/s")
+        if summary["stale"]:
+            title += (f" ({len(summary['stale'])} member(s) DEAD: "
+                      f"no beat in {stale_after:.0f}s)")
         sections.append(render_table(
             ["shard", "trials", "trials/s", "eta s", ""], rows,
             title=title))
@@ -356,18 +394,21 @@ def render_top(records: list[dict], top_batches: int = 8) -> str:
 
 
 def follow_path(path: str, interval: float = 2.0,
-                iterations: int | None = None, stream=None) -> int:
+                iterations: int | None = None, stream=None,
+                stale_after: float | None = None) -> int:
     """``obs top``: render ``path`` every ``interval`` seconds.
 
     ``iterations=1`` renders once and returns (``--once``); ``None``
     follows until interrupted.  Returns a shell exit code.
+    ``stale_after`` is forwarded to :func:`render_top`.
     """
     stream = stream if stream is not None else sys.stdout
     rendered = 0
     try:
         while True:
             if os.path.exists(path):
-                body = render_top(read_heartbeats(path))
+                body = render_top(read_heartbeats(path),
+                                  stale_after=stale_after)
             else:
                 body = f"(waiting for {path})"
             stamp = time.strftime("%H:%M:%S")

@@ -270,15 +270,15 @@ def _merge_opcodes(records) -> list[dict]:
     return [{"op": op, "count": count} for op, count in totals.items()]
 
 
-def render_hotspots(records: list[dict], top: int = 10) -> str:
-    """The JIT candidate report over exported profile records.
+def hotspot_tables(records: list[dict], top: int = 10) -> list:
+    """The JIT candidate report's tables over exported profile records.
 
     Ranks blocks by exact dynamic instruction share (the deterministic
     signal a tracing JIT would key on), annotates each with its
     side-exit mix and fault-mode interactions, and appends the
     per-opcode dynamic-share table, whose shares sum to 1.
     """
-    from ..eval.report import render_table
+    from .emit import Table
 
     blocks = _merge_blocks(
         r for r in records if r.get("kind") == "block_profile")
@@ -286,7 +286,7 @@ def render_hotspots(records: list[dict], top: int = 10) -> str:
         r for r in records if r.get("kind") == "opcode_profile")
     summaries = [r for r in records if r.get("kind") == "profile_summary"]
     if not blocks:
-        return "(no profile records)"
+        return []
     total = sum(r["instructions"] for r in blocks)
     total_wall = sum(r.get("wall_seconds", 0.0) for r in blocks)
     has_jit = any("jit" in r for r in blocks)
@@ -301,16 +301,16 @@ def render_hotspots(records: list[dict], top: int = 10) -> str:
                         if exits.get(kind))
         wall = record.get("wall_seconds", 0.0)
         row = [
-            str(rank),
+            rank,
             _block_label(record),
-            str(record["instructions"]),
+            record["instructions"],
             f"{100.0 * record['instructions'] / total:6.2f}",
             f"{100.0 * cumulative / total:6.2f}",
-            str(entries),
+            entries,
             (f"{record['instructions'] / entries:6.1f}"
              if entries else "-"),
             (f"{100.0 * wall / total_wall:5.1f}" if total_wall else "-"),
-            str(record.get("recoveries", 0)),
+            record.get("recoveries", 0),
         ]
         if has_jit:
             row.append("yes" if record.get("jit") else "no")
@@ -321,13 +321,13 @@ def render_hotspots(records: list[dict], top: int = 10) -> str:
     if has_jit:
         headers.append("jit")
     headers.append("exits")
-    sections = [render_table(
-        headers,
-        rows,
+    main = Table(
         title=f"JIT candidates: top {min(top, len(blocks))} of "
               f"{len(blocks)} blocks by dynamic instruction share "
               f"({total} instructions)",
-    )]
+        columns=headers, rows=rows,
+    )
+    tables = [main]
 
     jit_cut = 0
     running = 0
@@ -349,20 +349,30 @@ def render_hotspots(records: list[dict], top: int = 10) -> str:
             f"{taint_trials} trial(s) ran under taint tracing; their "
             "instructions executed in the traced loop and are not "
             "counted above.")
-    sections.append("\n".join(notes))
+    main.notes = notes
 
     if opcodes:
         op_total = sum(r["count"] for r in opcodes)
         op_rows = [
-            [r["op"], str(r["count"]),
+            [r["op"], r["count"],
              f"{100.0 * r['count'] / op_total:6.2f}"]
             for r in sorted(opcodes,
                             key=lambda r: (-r["count"], r["op"]))
         ]
         share_sum = sum(r["count"] / op_total for r in opcodes)
-        sections.append(render_table(
-            ["opcode", "count", "share%"], op_rows,
+        tables.append(Table(
             title=f"Per-opcode dynamic shares ({len(opcodes)} opcodes, "
                   f"shares sum to {share_sum:.6f})",
+            columns=["opcode", "count", "share%"], rows=op_rows,
         ))
-    return "\n\n".join(sections)
+    return tables
+
+
+def render_hotspots(records: list[dict], top: int = 10,
+                    fmt: str = "text") -> str:
+    """Render the JIT candidate report (see :func:`hotspot_tables`)."""
+    from .emit import emit_tables
+
+    return emit_tables(hotspot_tables(records, top=top), fmt,
+                       kind="hotspots",
+                       empty="(no profile records)")

@@ -16,6 +16,7 @@ import gzip
 import json
 from typing import Iterable
 
+from .emit import Table
 from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram
 
 
@@ -108,7 +109,7 @@ def _group_key(record: dict) -> str:
     return "/".join(parts) or "(all)"
 
 
-def _render_trials(trials: list[dict], render_table) -> list[str]:
+def _render_trials(trials: list[dict]) -> list[Table]:
     sections = []
     counts: dict[str, int] = {}
     recovered = 0
@@ -118,13 +119,13 @@ def _render_trials(trials: list[dict], render_table) -> list[str]:
             recovered += 1
     total = len(trials)
     rows = [
-        [outcome, str(n), f"{100.0 * n / total:6.2f}"]
+        [outcome, n, f"{100.0 * n / total:6.2f}"]
         for outcome, n in sorted(counts.items(), key=lambda kv: -kv[1])
     ]
-    sections.append(render_table(
-        ["outcome", "count", "percent"], rows,
+    sections.append(Table(
         title=f"Campaign outcomes ({total} trials, "
               f"recovery fired in {recovered})",
+        columns=["outcome", "count", "percent"], rows=rows,
     ))
 
     groups = sorted({_group_key(r) for r in trials})
@@ -140,15 +141,17 @@ def _render_trials(trials: list[dict], render_table) -> list[str]:
                     if r["detection_latency"] is not None]
             mean = f"{sum(lats) / len(lats):9.1f}" if lats else "-"
             rows.append([
-                group, str(n),
+                group, n,
                 f"{100.0 * c.get('unACE', 0) / n:6.2f}",
                 f"{100.0 * c.get('SEGV', 0) / n:6.2f}",
                 f"{100.0 * (c.get('SDC', 0) + c.get('Hang', 0)) / n:6.2f}",
                 mean,
             ])
-        sections.append(render_table(
-            ["cell", "trials", "unACE%", "SEGV%", "SDC%", "mean latency"],
-            rows, title="Per-cell breakdown",
+        sections.append(Table(
+            title="Per-cell breakdown",
+            columns=["cell", "trials", "unACE%", "SEGV%", "SDC%",
+                     "mean latency"],
+            rows=rows,
         ))
 
     latencies = [r["detection_latency"] for r in trials
@@ -164,16 +167,16 @@ def _render_trials(trials: list[dict], render_table) -> list[str]:
                  + [f">{histogram.buckets[-1]}"])
         for edge, n in zip(edges, histogram.counts):
             bar = "#" * round(width * n / peak) if peak else ""
-            rows.append([edge, str(n), bar])
-        sections.append(render_table(
-            ["latency (instrs)", "count", ""], rows,
+            rows.append([edge, n, bar])
+        sections.append(Table(
             title=f"Detection latency: {len(latencies)} detected trials, "
                   f"mean {histogram.mean:.1f} dynamic instructions",
+            columns=["latency (instrs)", "count", ""], rows=rows,
         ))
     return sections
 
 
-def _render_spans(spans: list[dict], render_table) -> list[str]:
+def _render_spans(spans: list[dict]) -> list[Table]:
     totals: dict[str, list[float]] = {}
     child_time: dict[str, float] = {}
     for record in spans:
@@ -190,16 +193,17 @@ def _render_spans(spans: list[dict], render_table) -> list[str]:
         # Clamped at zero -- children recorded without their parent
         # (e.g. a truncated export) could otherwise go negative.
         self_time = max(total - child_time.get(name, 0.0), 0.0)
-        rows.append([name, str(len(durations)), f"{total:8.3f}",
+        rows.append([name, len(durations), f"{total:8.3f}",
                      f"{self_time:8.3f}",
                      f"{1e3 * total / len(durations):9.3f}"])
-    return [render_table(
-        ["span", "count", "total s", "self s", "mean ms"], rows,
+    return [Table(
         title=f"Spans ({len(spans)} recorded)",
+        columns=["span", "count", "total s", "self s", "mean ms"],
+        rows=rows,
     )]
 
 
-def _render_adaptive(batches: list[dict], render_table) -> list[str]:
+def _render_adaptive(batches: list[dict]) -> list[Table]:
     """One row per adaptive batch: the campaign's convergence path."""
     sections = []
     groups: dict[str, list[dict]] = {}
@@ -210,9 +214,9 @@ def _render_adaptive(batches: list[dict], render_table) -> list[str]:
         rows = []
         for record in members:
             rows.append([
-                str(record.get("batch", "?")),
-                str(record.get("trials", "?")),
-                str(record.get("total_trials", "?")),
+                record.get("batch", "?"),
+                record.get("trials", "?"),
+                record.get("total_trials", "?"),
                 f"{100.0 * record.get('estimate', 0.0):6.2f}",
                 f"{100.0 * record.get('half_width', 0.0):5.2f}",
                 "yes" if record.get("met") else "no",
@@ -222,45 +226,43 @@ def _render_adaptive(batches: list[dict], render_table) -> list[str]:
         target = 100.0 * last.get("target", 0.0)
         title = (f"Adaptive batches ({group}): metric {metric}, "
                  f"target half-width {target:.2f} pts")
-        sections.append(render_table(
-            ["batch", "trials", "total", "estimate%", "hw pts", "met"],
-            rows, title=title,
+        sections.append(Table(
+            title=title,
+            columns=["batch", "trials", "total", "estimate%", "hw pts",
+                     "met"],
+            rows=rows,
         ))
     return sections
 
 
-def _render_timing(cells: list[dict], render_table) -> list[str]:
+def _render_timing(cells: list[dict]) -> list[Table]:
     rows = [
-        [str(record.get("benchmark", "?")), str(record.get("technique", "?")),
-         str(record.get("cycles", 0)), str(record.get("instructions", 0)),
+        [record.get("benchmark", "?"), record.get("technique", "?"),
+         record.get("cycles", 0), record.get("instructions", 0),
          f"{record.get('ipc', 0.0):4.2f}"]
         for record in cells
     ]
-    return [render_table(
-        ["benchmark", "technique", "cycles", "instrs", "ipc"], rows,
+    return [Table(
         title="Timing cells",
+        columns=["benchmark", "technique", "cycles", "instrs", "ipc"],
+        rows=rows,
     )]
 
 
-def summarize_records(records: list[dict]) -> str:
-    """Render a telemetry record list as human-readable tables."""
-    # Local import: repro.eval imports repro.obs, so importing the
-    # renderer at module scope would close an import cycle.
-    from ..eval.report import render_table
-
+def summary_tables(records: list[dict]) -> list[Table]:
+    """Aggregate a telemetry record list into report tables."""
     by_kind: dict[str, list[dict]] = {}
     for record in records:
         by_kind.setdefault(record.get("kind", "?"), []).append(record)
-    sections: list[str] = []
+    tables: list[Table] = []
     if "trial" in by_kind:
-        sections += _render_trials(by_kind["trial"], render_table)
+        tables += _render_trials(by_kind["trial"])
     if "adaptive_batch" in by_kind:
-        sections += _render_adaptive(by_kind["adaptive_batch"],
-                                     render_table)
+        tables += _render_adaptive(by_kind["adaptive_batch"])
     if "timing" in by_kind:
-        sections += _render_timing(by_kind["timing"], render_table)
+        tables += _render_timing(by_kind["timing"])
     if "span" in by_kind:
-        sections += _render_spans(by_kind["span"], render_table)
+        tables += _render_spans(by_kind["span"])
     leftover = {kind: items for kind, items in by_kind.items()
                 if kind not in ("trial", "timing", "span",
                                 "adaptive_batch")}
@@ -275,15 +277,24 @@ def summarize_records(records: list[dict]) -> str:
             sample = ", ".join(keys[:6])
             if len(keys) > 6:
                 sample += ", ..."
-            rows.append([kind, str(len(items)), sample])
-        sections.append(render_table(
-            ["kind", "count", "sample keys"], rows, title="Other records",
+            rows.append([kind, len(items), sample])
+        tables.append(Table(
+            title="Other records",
+            columns=["kind", "count", "sample keys"], rows=rows,
         ))
-    if not sections:
-        return "(no telemetry records)"
-    return "\n\n".join(sections)
+    return tables
 
 
-def summarize_path(path: str) -> str:
+def summarize_records(records: list[dict], fmt: str = "text") -> str:
+    """Render a telemetry record list as tables (text or JSON)."""
+    from .emit import emit_tables
+
+    return emit_tables(summary_tables(records), fmt,
+                       kind="telemetry_summary",
+                       meta={"records": len(records)},
+                       empty="(no telemetry records)")
+
+
+def summarize_path(path: str, fmt: str = "text") -> str:
     """Read a JSONL telemetry file and render its summary."""
-    return summarize_records(read_jsonl(path))
+    return summarize_records(read_jsonl(path), fmt)

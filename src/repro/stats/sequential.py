@@ -206,6 +206,29 @@ class AdaptiveResult:
             base.update(context)
         return [b.to_dict(base) for b in self.batches]
 
+    def stratum_dicts(self, context: dict | None = None) -> list[dict]:
+        """Per-(arm, stratum) telemetry records: population weight,
+        trials spent, and the full outcome breakdown.  Alongside
+        :meth:`batch_dicts` this is what ``obs convergence`` needs to
+        audit coverage and allocation efficiency, and what ``obs
+        atlas`` uses to weight maps by population share."""
+        records = []
+        for arm in sorted(self.arm_strata):
+            for stratum in self.arm_strata[arm]:
+                record = {"kind": "fault_space_stratum"}
+                if context:
+                    record.update(context)
+                record.update(
+                    arm=arm,
+                    stratum=stratum.key,
+                    weight=stratum.weight,
+                    trials=stratum.trials,
+                    outcomes={key: count for key, count
+                              in sorted(stratum.outcomes.items())},
+                )
+                records.append(record)
+        return records
+
     def describe_cells(self) -> list[dict]:
         """Summary rows for the final per-stratum observations."""
         return [
@@ -291,14 +314,17 @@ class _Arm:
         groups = [(key, count) for key, count
                   in sorted(allocation.items()) if count > 0]
         sites = []
+        strata = []
         for key, count in groups:
-            sites.extend(self.space.sample(key, self.rngs[key], count))
+            drawn = self.space.sample(key, self.rngs[key], count)
+            sites.extend(drawn)
+            strata.extend([key] * len(drawn))
         if not sites:
             return 0
         if jobs <= 1 or len(sites) < 2:
-            outcomes = self._run_serial(sites)
+            outcomes = self._run_serial(sites, strata)
         else:
-            outcomes = self._run_parallel(sites, jobs)
+            outcomes = self._run_parallel(sites, strata, jobs)
         cursor = 0
         for key, count in groups:
             counts = self.outcome_counts[key]
@@ -307,21 +333,21 @@ class _Arm:
             cursor += count
         return len(sites)
 
-    def _run_serial(self, sites) -> list[Outcome]:
+    def _run_serial(self, sites, strata) -> list[Outcome]:
         outcomes = []
-        for site in sites:
+        for site, stratum in zip(sites, strata):
             faulty = self.store.run_with_fault(site)
             outcome = classify(self.golden, faulty)
             self.result.record(outcome, recovered=faulty.recoveries > 0,
                                landed=fault_landed(site, faulty))
             if self.log is not None:
                 self.log.record_trial(self.next_trial, site, outcome,
-                                      faulty)
+                                      faulty, stratum=stratum)
             self.next_trial += 1
             outcomes.append(outcome)
         return outcomes
 
-    def _run_parallel(self, sites, jobs: int) -> list[Outcome]:
+    def _run_parallel(self, sites, strata, jobs: int) -> list[Outcome]:
         # The shard runner is bit-identical per site list, so outcomes
         # (recovered from its trial records) match the serial path.
         scratch = CampaignLog()
@@ -332,13 +358,15 @@ class _Arm:
             jit=self.jit)
         self.result = self.result.merged(shard_result)
         outcomes = []
-        for record in scratch.records:
+        for record, stratum in zip(scratch.records, strata):
             outcomes.append(Outcome(record.outcome))
             if self.log is not None:
                 # Renumber shard-local trial indices into this arm's
-                # campaign-global sequence.
+                # campaign-global sequence (and stamp the stratum the
+                # parent drew the site from -- workers never know it).
                 self.log.records.append(
-                    replace(record, trial=self.next_trial))
+                    replace(record, trial=self.next_trial,
+                            stratum=stratum))
             self.next_trial += 1
         return outcomes
 

@@ -215,6 +215,26 @@ class FaultSpace:
                                  key=lambda kv: -kv[1].sites)
         ]
 
+    def to_records(self, context: dict | None = None) -> list[dict]:
+        """Telemetry export: one ``fault_space_stratum`` record per
+        stratum, with *unrounded* weights so downstream consumers (the
+        atlas's population weighting, the convergence coverage audit)
+        reconstruct the exact population shares."""
+        records = []
+        for key in sorted(self.strata):
+            record = {"kind": "fault_space_stratum"}
+            if context:
+                record.update(context)
+            record.update(
+                stratum=key,
+                sites=self.strata[key].sites,
+                weight=self.weight(key),
+                population=self.population,
+                golden_instructions=self.golden_instructions,
+            )
+            records.append(record)
+        return records
+
 
 def _hot_registers(machine: Machine) -> frozenset[int]:
     """Injectable GPRs read before being overwritten in the rest of the

@@ -1,0 +1,147 @@
+"""Convergence audit: coverage flags, efficiency, timelines."""
+
+import json
+
+import pytest
+
+from repro.obs.convergence import convergence_tables
+from repro.obs.emit import FORMATS, Table, emit_tables
+
+
+def _stratum(arm, stratum, weight, trials, outcomes=None):
+    return {"kind": "fault_space_stratum", "benchmark": "demo",
+            "technique": "swiftr", "arm": arm, "stratum": stratum,
+            "weight": weight, "trials": trials,
+            "outcomes": outcomes or {}}
+
+
+def _batch(batch, trials, total, half_width, met, **extra):
+    record = {"kind": "adaptive_batch", "benchmark": "demo",
+              "technique": "swiftr", "batch": batch, "trials": trials,
+              "total_trials": total, "allocation": {"a": trials},
+              "metric": "unace", "target": 0.025, "confidence": 0.95,
+              "estimate": 0.9, "low": 0.85, "high": 0.95,
+              "half_width": half_width, "met": met}
+    record.update(extra)
+    return record
+
+
+def test_coverage_flags_unsampled_and_undersampled():
+    records = [
+        _stratum("swiftr", "hot", 0.5, 48, {"unACE": 40, "SDC": 8}),
+        _stratum("swiftr", "cold", 0.4, 10, {"unACE": 10}),   # < half
+        _stratum("swiftr", "never", 0.1, 0),
+    ]
+    tables = convergence_tables(records)
+    assert len(tables) == 1
+    table = tables[0]
+    assert "Stratum coverage" in table.title
+    flags = {row[1]: row[-1] for row in table.rows}
+    assert flags["hot"] == ""
+    assert flags["cold"] == "UNDERSAMPLED"
+    assert flags["never"] == "UNSAMPLED"
+    assert any("2 stratum/strata flagged" in note for note in table.notes)
+
+
+def test_efficiency_note_realized_vs_neyman():
+    # Two strata, equal weight, same variance, proportional split:
+    # that IS the Neyman split, so efficiency is exactly 1.0.
+    records = [
+        _stratum("a1", "s1", 0.5, 50, {"unACE": 25, "SDC": 25}),
+        _stratum("a1", "s2", 0.5, 50, {"unACE": 25, "SDC": 25}),
+    ]
+    table = convergence_tables(records)[0]
+    note = next(n for n in table.notes if "Neyman" in n)
+    assert "efficiency 1.00" in note
+    assert "100 trials" in note
+
+
+def test_efficiency_note_zero_variance():
+    records = [_stratum("a1", "s1", 1.0, 30, {"unACE": 30})]
+    table = convergence_tables(records)[0]
+    assert any("allocation efficiency undefined" in n
+               for n in table.notes)
+
+
+def test_timeline_rows_and_stopping_note():
+    records = [
+        _batch(0, 96, 96, 0.08, False),
+        _batch(1, 64, 160, 0.024, True),
+    ]
+    tables = convergence_tables(records)
+    table = tables[0]
+    assert "CI half-width timeline" in table.title
+    assert "at 95%" in table.title
+    assert [row[0] for row in table.rows] == [0, 1]
+    assert table.rows[1][6] == "met"
+    # Shrink bar scales with half-width over target (0.08/0.025 ~ 3).
+    assert table.rows[0][7] == "###"
+    assert any("target met." in n for n in table.notes)
+
+
+def test_population_only_records_not_auditable():
+    records = [{"kind": "fault_space_stratum", "stratum": "s1",
+                "weight": 1.0, "sites": 100, "population": 6400}]
+    table = convergence_tables(records)[0]
+    assert any("allocation not auditable" in n for n in table.notes)
+
+
+def test_no_telemetry_fallback():
+    tables = convergence_tables([{"kind": "trial", "outcome": "unACE"}])
+    assert len(tables) == 1
+    assert any("no adaptive telemetry" in n for n in tables[0].notes)
+
+
+def test_groups_split_per_campaign_cell():
+    records = [
+        _batch(0, 96, 96, 0.01, True),
+        dict(_batch(0, 96, 96, 0.05, False), technique="noft"),
+    ]
+    tables = convergence_tables(records)
+    assert len(tables) == 2
+    assert {t.title.split("(")[1].split(")")[0] for t in tables} \
+        == {"demo/swiftr", "demo/noft"}
+
+
+def test_emit_tables_json_roundtrip():
+    records = [_stratum("a1", "s1", 1.0, 30, {"unACE": 30}),
+               _batch(0, 96, 96, 0.02, True)]
+    text = emit_tables(convergence_tables(records), "json",
+                       kind="convergence", meta={"records": len(records)})
+    document = json.loads(text)
+    assert document["kind"] == "convergence"
+    assert document["records"] == 2
+    titles = [t["title"] for t in document["tables"]]
+    assert any("Stratum coverage" in t for t in titles)
+    assert any("timeline" in t for t in titles)
+    # JSON cells keep native types; padded strings are stripped.
+    coverage = document["tables"][0]
+    assert isinstance(coverage["rows"][0][2], str)  # weight% formatted
+    assert coverage["rows"][0][3] == 30             # trials stay int
+
+
+def test_emit_tables_rejects_unknown_format():
+    with pytest.raises(ValueError, match="unknown format"):
+        emit_tables([Table(title="t", columns=[], rows=[])], "yaml")
+    assert "text" in FORMATS and "json" in FORMATS
+
+
+def test_one_shot_audit_matches_adaptive_result(simple_program):
+    from repro.stats import AdaptiveConfig, run_adaptive_campaign
+    from repro.transform import Technique, allocate_program, protect
+
+    binary = allocate_program(protect(simple_program, Technique.SWIFTR))
+    config = AdaptiveConfig(ci_width=0.06, max_trials=300)
+    result = run_adaptive_campaign(binary, config=config, seed=0)
+    context = {"benchmark": "simple", "technique": "swiftr"}
+    records = (result.batch_dicts(context=context)
+               + result.stratum_dicts(context=context))
+    tables = convergence_tables(records)
+    joined = "\n".join(t.title for t in tables)
+    assert "Stratum coverage (simple/swiftr)" in joined
+    assert "CI half-width timeline (simple/swiftr)" in joined
+    coverage = next(t for t in tables if "coverage" in t.title)
+    # Realized trials in the audit sum to the campaign's total.
+    trials_col = coverage.columns.index("trials")
+    assert sum(r[trials_col] for r in coverage.rows) \
+        == result.result.trials

@@ -185,6 +185,107 @@ def test_render_report_names_escapes(simple_program):
     assert render_report(analyze_records([])) == "(no trial records)"
 
 
+# ------------------------------------------------- extension fault models
+def test_extension_sites_share_trial_schema(simple_program):
+    """Wild-jump and opcode sites have no register/bit coordinates;
+    record_trial normalizes them to -1 so one schema covers all."""
+    from repro.faults.controlflow_faults import (
+        WildJumpSite,
+        run_with_wild_jump,
+    )
+    from repro.faults.injector import golden_run
+    from repro.faults.opcode_faults import (
+        OpcodeFaultInjector,
+        OpcodeFaultSite,
+    )
+    from repro.faults.outcomes import classify
+    from repro.sim import Machine
+
+    binary = allocate_program(simple_program)
+    machine = Machine(binary)
+    golden = golden_run(machine)
+
+    log = CampaignLog(context={"technique": "noft"})
+    wild_site = WildJumpSite(dynamic_index=5, target_seed=99)
+    faulty = run_with_wild_jump(machine, wild_site)
+    log.record_trial(0, wild_site, classify(golden, faulty), faulty)
+
+    injector = OpcodeFaultInjector(binary)
+    opcode_site = OpcodeFaultSite(dynamic_index=7, bit=3)
+    faulty = injector.run_with_fault(opcode_site)
+    log.record_trial(1, opcode_site, classify(golden, faulty), faulty)
+
+    # A site past the end of the golden run never lands.
+    late_site = WildJumpSite(dynamic_index=golden.instructions + 10,
+                             target_seed=0)
+    faulty = run_with_wild_jump(machine, late_site)
+    log.record_trial(2, late_site, classify(golden, faulty), faulty)
+
+    records = log.to_dicts()
+    wild, opcode, late = records
+    assert wild["reg_index"] == -1 and wild["bit"] == -1
+    assert opcode["reg_index"] == -1 and opcode["bit"] == 3
+    assert wild["fault_landed"] and opcode["fault_landed"]
+    assert not late["fault_landed"]
+
+    # Forensics classifies the extension kinds with the same taxonomy:
+    # structural mechanisms without taint data, never-landed past-end.
+    report = analyze_records(records)
+    attributions = report.attributions
+    assert len(attributions) == 3
+    assert all(a["mechanism"] in MECHANISMS for a in attributions)
+    by_trial = {a["trial"]: a for a in attributions}
+    assert by_trial[2]["mechanism"] == "never-landed"
+    for trial in (0, 1):
+        assert by_trial[trial]["mechanism"] in (
+            "no-taint-data",            # landed, failed or silent
+            "detected-by-check",        # DUE needs no taint events
+            "never-landed",
+        ) or by_trial[trial]["outcome"] == "unACE"
+
+
+def test_extension_campaigns_full_attribution(simple_program):
+    """Whole extension campaigns re-logged trial by trial classify
+    cleanly: every record gets a mechanism, DUEs are attributed even
+    without taint, and outcome counts match the campaign's own."""
+    from repro.faults.controlflow_faults import (
+        WildJumpSite,
+        run_with_wild_jump,
+    )
+    from repro.faults.injector import golden_run
+    from repro.faults.outcomes import classify
+    from repro.sim import Machine
+
+    import random
+
+    binary = allocate_program(protect(simple_program, Technique.SWIFTR))
+    machine = Machine(binary)
+    golden = golden_run(machine)
+    log = CampaignLog(context={"technique": "swiftr",
+                               "benchmark": "wild-jump"})
+    rng = random.Random(17)
+    outcomes = {}
+    for trial in range(40):
+        site = WildJumpSite(dynamic_index=rng.randrange(golden.instructions),
+                            target_seed=rng.getrandbits(32))
+        faulty = run_with_wild_jump(machine, site)
+        outcome = classify(golden, faulty)
+        outcomes[outcome.value] = outcomes.get(outcome.value, 0) + 1
+        log.record_trial(trial, site, outcome, faulty)
+
+    report = analyze_records(log.to_dicts())
+    assert list(report.groups) == ["wild-jump/swiftr"]
+    counted = {}
+    for attribution in report.attributions:
+        assert attribution["mechanism"] in MECHANISMS
+        counted[attribution["outcome"]] = \
+            counted.get(attribution["outcome"], 0) + 1
+        if attribution["outcome"] == "DUE":
+            assert attribution["mechanism"] == "detected-by-check"
+    assert counted == outcomes
+    assert "mechanism" in render_report(report)
+
+
 # ------------------------------------------------------------ trace export
 def _taint_records(simple_program):
     binary = allocate_program(protect(simple_program, Technique.SWIFTR))

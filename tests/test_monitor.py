@@ -72,6 +72,48 @@ def test_aggregate_shards_and_stragglers():
     assert aggregate_shards(records)["stragglers"] == []
 
 
+def test_stale_shards_flagged_dead():
+    now = 1_000_000.0
+    records = [
+        {"kind": "heartbeat", "role": "shard", "shard": 0,
+         "completed": 30, "total": 60, "trials_per_sec": 10.0,
+         "ts": now - 5},
+        {"kind": "heartbeat", "role": "shard", "shard": 1,
+         "completed": 28, "total": 60, "trials_per_sec": 9.0,
+         "ts": now - 300},
+        {"kind": "heartbeat", "role": "shard", "shard": 2,
+         "completed": 60, "total": 60, "trials_per_sec": 12.0,
+         "ts": now - 300},
+    ]
+    summary = aggregate_shards(records, stale_after=60, now=now)
+    # Shard 1 went silent mid-run; shard 2's last beat is naturally its
+    # final one (finished shards are exempt).
+    assert summary["stale"] == [1]
+    assert summary["done_shards"] == 1
+    # A dead worker's frozen rate no longer inflates the aggregate.
+    assert summary["trials_per_sec"] == 22.0
+    # Stale members are not additionally flagged as stragglers.
+    assert 1 not in summary["stragglers"]
+    report = render_top(records, stale_after=60, now=now)
+    assert "1 member(s) DEAD: no beat in 60s" in report
+    assert "DEAD" in report
+    # Without the threshold nobody is stale.
+    fresh = aggregate_shards(records, stale_after=None, now=now)
+    assert fresh["stale"] == []
+    assert "DEAD" not in render_top(records, now=now)
+
+
+def test_stale_campaign_heartbeat_flagged_dead():
+    now = 1_000_000.0
+    records = [{"kind": "heartbeat", "role": "campaign", "completed": 40,
+                "total": 60, "trials_per_sec": 8.0, "ts": now - 120}]
+    report = render_top(records, stale_after=60, now=now)
+    assert "(DEAD: no beat in 60s)" in report
+    # A finished campaign is never dead, however old its last beat.
+    records[0]["final"] = True
+    assert "DEAD" not in render_top(records, stale_after=60, now=now)
+
+
 def test_render_top_sections():
     records = [
         {"kind": "heartbeat", "role": "campaign", "completed": 60,

@@ -156,3 +156,162 @@ def test_cli_run_propagates_exit_code(tmp_path):
     source = tmp_path / "demo.c"
     source.write_text("int main() { exit(4); return 0; }")
     assert cli_main(["run", str(source)]) == 4
+
+
+# ------------------------------------------------- atlas / convergence CLI
+SMOKE_SOURCE = (
+    "int data[8] = { 3, 1, 4, 1, 5, 9, 2, 6 };\n"
+    "int main() { int t = 0; "
+    "for (int i = 0; i < 8; i++) { t += data[i] * (i + 1); } "
+    "print(t); return 0; }"
+)
+
+
+def _smoke(tmp_path):
+    source = tmp_path / "demo.c"
+    source.write_text(SMOKE_SOURCE)
+    return source
+
+
+def test_cli_campaign_atlas_artifact_and_rerender(tmp_path, capsys):
+    import json
+
+    source = _smoke(tmp_path)
+    atlas_path = tmp_path / "atlas.json"
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--trials", "40", "--taint",
+                     "--atlas", str(atlas_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trials anchored to" in out
+    doc = json.loads(atlas_path.read_text())
+    assert doc["kind"] == "atlas"
+    assert doc["trials"] == 40
+    assert doc["context"]["source"] == str(source)
+    # Re-render the saved artifact: the heatmap is rebuilt by
+    # recompiling the source recorded in the context.
+    assert cli_main(["obs", "atlas", str(atlas_path)]) == 0
+    rendered = capsys.readouterr().out
+    assert "per-instruction outcomes" in rendered
+
+
+def test_cli_obs_atlas_from_telemetry(tmp_path, capsys):
+    import json
+
+    source = _smoke(tmp_path)
+    telemetry = tmp_path / "t.jsonl"
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--trials", "40", "--taint",
+                     "--telemetry", str(telemetry)]) == 0
+    capsys.readouterr()
+    out_path = tmp_path / "atlas.json"
+    escapes = tmp_path / "escapes.json"
+    assert cli_main(["obs", "atlas", str(telemetry),
+                     "-o", str(out_path),
+                     "--escapes", str(escapes)]) == 0
+    capsys.readouterr()
+    doc = json.loads(out_path.read_text())
+    assert doc["kind"] == "atlas" and doc["trials"] == 40
+    feed = json.loads(escapes.read_text())
+    assert feed["kind"] == "atlas_escapes"
+    assert feed["schema_version"] == doc["schema_version"]
+
+
+def test_cli_obs_atlas_one_shot_json(capsys):
+    import json
+
+    assert cli_main(["obs", "atlas", "--workload", "crc32",
+                     "--trials", "20", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "atlas"
+    assert doc["sites"]
+    assert doc["context"]["benchmark"] == "crc32"
+
+
+def test_cli_obs_convergence_path_and_json(tmp_path, capsys):
+    import json
+
+    source = _smoke(tmp_path)
+    telemetry = tmp_path / "adaptive.jsonl"
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--adaptive", "--ci-width", "6",
+                     "--telemetry", str(telemetry)]) == 0
+    capsys.readouterr()
+    assert cli_main(["obs", "convergence", str(telemetry)]) == 0
+    out = capsys.readouterr().out
+    assert "Stratum coverage" in out
+    assert "CI half-width timeline" in out
+    assert cli_main(["obs", "convergence", str(telemetry),
+                     "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "convergence" and doc["tables"]
+
+
+def test_cli_obs_summarize_and_hotspots_json(tmp_path, capsys):
+    import json
+
+    source = _smoke(tmp_path)
+    telemetry = tmp_path / "t.jsonl"
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--trials", "30",
+                     "--telemetry", str(telemetry)]) == 0
+    capsys.readouterr()
+    assert cli_main(["obs", "summarize", str(telemetry),
+                     "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "telemetry_summary"
+    assert any("Campaign outcomes" in t["title"] for t in doc["tables"])
+    assert cli_main(["obs", "hotspots", "--workload", "crc32",
+                     "-t", "swiftr", "--trials", "10",
+                     "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "hotspots" and doc["tables"]
+
+
+def test_cli_obs_top_stale_after(tmp_path, capsys):
+    import json
+    import time
+
+    path = tmp_path / "hb.jsonl"
+    beat = {"kind": "heartbeat", "role": "shard", "shard": 0,
+            "completed": 10, "total": 60, "trials_per_sec": 5.0,
+            "ts": time.time() - 300}
+    path.write_text(json.dumps(beat) + "\n")
+    # A generous threshold keeps the 5-minute-old beat alive...
+    assert cli_main(["obs", "top", str(path), "--once",
+                     "--stale-after", "600"]) == 0
+    assert "DEAD" not in capsys.readouterr().out
+    # ...but the default 60s threshold flags it.
+    assert cli_main(["obs", "top", str(path), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "DEAD" in out
+    assert "no beat in 60s" in out
+
+
+def test_cli_campaign_zero_elapsed_reports_rate_na(tmp_path, capsys,
+                                                   monkeypatch):
+    import repro.faults as faults
+
+    source = _smoke(tmp_path)
+    real = faults.run_parallel_campaign
+
+    def zero_clock(*args, **kwargs):
+        result = real(*args, **kwargs)
+        result.elapsed_seconds = 0.0
+        return result
+
+    monkeypatch.setattr(faults, "run_parallel_campaign", zero_clock)
+    assert cli_main(["campaign", str(source), "-t", "swiftr",
+                     "--trials", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "rate n/a" in out
+    assert "trials/s" not in out
+
+
+def test_trials_per_sec_guarded_against_zero_elapsed():
+    from repro.faults.campaign import CampaignResult
+
+    result = CampaignResult(trials=10)
+    assert result.elapsed_seconds == 0.0
+    assert result.trials_per_sec == 0.0
+    result.elapsed_seconds = 2.0
+    assert result.trials_per_sec == 5.0
