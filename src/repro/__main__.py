@@ -15,6 +15,9 @@ Subcommands:
 * ``obs top PATH``               follow a live campaign's heartbeat file
 * ``obs atlas``                  program-anchored reliability map
 * ``obs convergence``            stratum coverage / CI convergence audit
+* ``obs runs``                   list / gc the persistent run ledger
+* ``obs diff A B``               compare two stored runs statistically
+* ``obs history [METRIC]``       metric trajectory across stored runs
 * ``bench``                      run the bench suite, gate vs baselines
 
 ``campaign``, ``fig8``, and ``fig9`` accept ``--telemetry PATH`` to
@@ -33,6 +36,12 @@ simulator itself, and ``campaign`` accepts ``--progress`` (live TTY
 status line) and ``--heartbeat PATH`` (stream heartbeat records a
 second terminal can follow with ``obs top PATH``); see
 ``docs/performance.md``.
+
+``campaign``, ``fig8``, and ``fig9`` accept ``--store`` (with optional
+``--tag NAME`` and ``--runs-dir DIR``) to record each run in the
+content-addressed ledger under ``.repro/runs/``, queryable with
+``obs runs`` / ``obs diff`` / ``obs history``; see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -92,10 +101,12 @@ def _cmd_campaign(args) -> int:
 
     sink = open_sink(args.telemetry)
     log = None
-    if sink is not None or args.taint or (args.atlas and args.adaptive):
+    if (sink is not None or args.taint or args.store
+            or (args.atlas and args.adaptive)):
         # Taint tracing needs a log to collect event streams even when
         # nothing is exported: forensics renders from the log directly.
-        # (Adaptive atlases also anchor from the log, post-hoc.)
+        # (Adaptive atlases also anchor from the log, post-hoc; stored
+        # runs keep the trial records as their primary artifact.)
         log = CampaignLog(context={"source": args.file,
                                    "technique": args.technique.value,
                                    "seed": args.seed})
@@ -169,12 +180,32 @@ def _cmd_campaign(args) -> int:
             print(f"latency   : mean {mean:.1f} dynamic instructions to "
                   f"detection ({len(latencies)} detected trials)")
         export_session(sink)
+    if args.store:
+        _store_run(args, binary, campaign, log)
     if args.taint:
         from .obs import analyze_log, render_report
 
         print()
         print(render_report(analyze_log(log)))
     return 0
+
+
+def _store_run(args, binary, campaign, log, weights=None,
+               adaptive=None) -> None:
+    """Record one finished campaign in the run ledger (``--store``)."""
+    from .obs.registry import RunRegistry, store_campaign
+
+    registry = RunRegistry(args.runs_dir or None)
+    stored = store_campaign(
+        registry, workload={"source": args.file},
+        technique=args.technique.value, seed=args.seed,
+        result=campaign, log=log, program=binary,
+        weights=weights, adaptive=adaptive, tag=args.tag)
+    verb = "stored" if stored.created else "cache hit"
+    tag = f" tag={args.tag}" if args.tag else ""
+    print(f"ledger    : {verb} run {stored.run_id}{tag} -> {stored.path}")
+    print(f"            (compare with: python -m repro obs diff "
+          f"{stored.run_id[:12]} OTHER)")
 
 
 def _write_profile(path: str, profile, context: dict) -> None:
@@ -253,20 +284,35 @@ def _adaptive_campaign(args, binary, sink, log, monitor=None) -> int:
         _write_atlas(args.atlas, atlas_from_records(
             log.to_dicts(), Machine(binary), weights=weights,
             context=dict(context, trials=campaign.trials)))
+    if args.store:
+        weights = {r["stratum"]: r["weight"]
+                   for r in result.stratum_dicts()}
+        _store_run(args, binary, campaign, log, weights=weights,
+                   adaptive=result)
     return 0
 
 
 def _cmd_obs_summarize(args) -> int:
-    from .obs.sink import summarize_path
+    from .obs.sink import TelemetryError, load_telemetry, summarize_records
 
-    print(summarize_path(args.path, fmt=args.format))
+    try:
+        records = load_telemetry(args.path)
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(summarize_records(records, fmt=args.format))
     return 0
 
 
 def _cmd_obs_forensics(args) -> int:
     from .obs.forensics import forensics_path
+    from .obs.sink import TelemetryError
 
-    print(forensics_path(args.path))
+    try:
+        print(forensics_path(args.path, fmt=args.format))
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -313,7 +359,8 @@ def _cmd_obs_top(args) -> int:
 
     return follow_path(args.path, interval=args.interval,
                        iterations=1 if args.once else None,
-                       stale_after=args.stale_after)
+                       stale_after=args.stale_after,
+                       fmt=args.format)
 
 
 def _atlas_program(args, records):
@@ -358,7 +405,7 @@ def _cmd_obs_atlas(args) -> int:
     import json
 
     from .obs import Atlas, AtlasAccumulator, atlas_from_records
-    from .obs.sink import read_jsonl
+    from .obs.sink import TelemetryError, load_telemetry
 
     program = None
     if args.path:
@@ -366,15 +413,24 @@ def _cmd_obs_atlas(args) -> int:
         # is JSONL (one record per line), which json.loads rejects.
         single = None
         if not str(args.path).endswith(".gz"):
-            with open(args.path) as handle:
-                try:
+            try:
+                with open(args.path) as handle:
                     single = json.loads(handle.read())
-                except ValueError:
-                    single = None
+            except OSError as exc:
+                detail = getattr(exc, "strerror", None) or exc
+                print(f"error: cannot read {args.path}: {detail}",
+                      file=sys.stderr)
+                return 1
+            except ValueError:
+                single = None
         if not (isinstance(single, dict)
                 and single.get("kind") == "atlas"):
             # Telemetry JSONL: rebuild the binary and anchor onto it.
-            records = read_jsonl(args.path)
+            try:
+                records = load_telemetry(args.path)
+            except TelemetryError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
             program = _atlas_program(args, records)
             if program is None:
                 return 2
@@ -469,6 +525,64 @@ def _cmd_obs_convergence(args) -> int:
     return 0
 
 
+def _cmd_obs_runs(args) -> int:
+    from .obs import emit_tables
+    from .obs.registry import RunRegistry, runs_tables
+
+    registry = RunRegistry(args.runs_dir or None)
+    if args.gc:
+        removed = registry.gc()
+        if removed:
+            print(f"gc: removed {len(removed)} untagged/stale run(s): "
+                  + ", ".join(r[:12] for r in removed))
+        else:
+            print("gc: nothing to remove (tagged runs are kept)")
+    print(emit_tables(
+        runs_tables(registry, tag=args.tag, workload=args.workload,
+                    technique=args.technique),
+        args.format, kind="runs", meta={"runs_dir": registry.root},
+        empty=f"(no stored runs in {registry.root}; store one with "
+              "`repro campaign ... --store`)"))
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    from .obs import emit_tables
+    from .obs.registry import RegistryError, RunRegistry, diff_tables
+
+    registry = RunRegistry(args.runs_dir or None)
+    try:
+        tables = diff_tables(registry, args.run_a, args.run_b,
+                             confidence=args.confidence, top=args.top,
+                             force=args.force)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(emit_tables(tables, args.format, kind="run_diff",
+                      meta={"runs_dir": registry.root}))
+    return 0
+
+
+def _cmd_obs_history(args) -> int:
+    from .obs import emit_tables
+    from .obs.registry import RegistryError, RunRegistry, history_tables
+
+    registry = RunRegistry(args.runs_dir or None)
+    try:
+        tables = history_tables(registry, metric=args.metric,
+                                tag=args.tag, workload=args.workload,
+                                technique=args.technique,
+                                tolerance=args.tolerance)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(emit_tables(
+        tables, args.format, kind="run_history",
+        meta={"runs_dir": registry.root, "metric": args.metric},
+        empty=f"(no stored runs match in {registry.root})"))
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench.cli import run_bench
 
@@ -502,6 +616,12 @@ def _cmd_fig8(args) -> int:
         argv += ["--benchmarks", args.benchmarks]
     if args.telemetry:
         argv += ["--telemetry", args.telemetry]
+    if args.store:
+        argv += ["--store"]
+        if args.tag:
+            argv += ["--tag", args.tag]
+        if args.runs_dir:
+            argv += ["--runs-dir", args.runs_dir]
     if args.taint:
         argv += ["--taint"]
     if args.profile:
@@ -523,11 +643,31 @@ def _cmd_fig9(args) -> int:
     argv = ["--benchmarks", args.benchmarks] if args.benchmarks else []
     if args.telemetry:
         argv += ["--telemetry", args.telemetry]
+    if args.store:
+        argv += ["--store"]
+        if args.tag:
+            argv += ["--tag", args.tag]
+        if args.runs_dir:
+            argv += ["--runs-dir", args.runs_dir]
     if args.profile:
         argv += ["--profile", args.profile]
     if args.jit is not None:
         argv += ["--jit" if args.jit else "--no-jit"]
     return performance.main(argv)
+
+
+def _add_store_arguments(parser) -> None:
+    """The run-ledger trio shared by campaign / fig8 / fig9."""
+    parser.add_argument("--store", action="store_true",
+                        help="record this run in the persistent ledger "
+                             "(manifest + artifacts, content-addressed; "
+                             "inspect with 'obs runs/diff/history')")
+    parser.add_argument("--tag", default="",
+                        help="human-readable ledger tag for the stored "
+                             "run(s), e.g. --tag baseline")
+    parser.add_argument("--runs-dir", default="",
+                        help="ledger directory (default: $REPRO_RUNS_DIR "
+                             "or .repro/runs)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -600,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["unace", "sdc", "segv", "failure",
                                      "detected"],
                             help="rate the adaptive stopping rule targets")
+    _add_store_arguments(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_profile = sub.add_parser("profile",
@@ -642,6 +783,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="block-compile each cell's binary "
                              "(default: on unless --taint/--profile)")
+    _add_store_arguments(p_fig8)
     p_fig8.set_defaults(func=_cmd_fig8)
 
     p_fig9 = sub.add_parser("fig9", help="reproduce Figure 9 (performance)")
@@ -655,6 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="accepted for parity with campaign/fig8; "
                              "the cycle-timing loop never uses the JIT")
+    _add_store_arguments(p_fig9)
     p_fig9.set_defaults(func=_cmd_fig9)
 
     p_obs = sub.add_parser("obs", help="telemetry tooling")
@@ -670,6 +813,9 @@ def build_parser() -> argparse.ArgumentParser:
         "forensics",
         help="classify every trial's fault mechanism from taint streams")
     p_forensics.add_argument("path")
+    p_forensics.add_argument("--format", choices=["text", "json"],
+                             default="text",
+                             help="output format (default text)")
     p_forensics.set_defaults(func=_cmd_obs_forensics)
     p_trace = obs_sub.add_parser(
         "export-trace",
@@ -718,6 +864,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flag shards whose last heartbeat is older "
                             "than this many seconds as DEAD "
                             "(default 60)")
+    p_top.add_argument("--format", choices=["text", "json"],
+                       default="text",
+                       help="output format (default text; json emits "
+                            "one document per refresh, best with --once)")
     p_top.set_defaults(func=_cmd_obs_top)
     p_atlas = obs_sub.add_parser(
         "atlas",
@@ -783,6 +933,75 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text",
                         help="output format (default text)")
     p_conv.set_defaults(func=_cmd_obs_convergence)
+
+    p_runs = obs_sub.add_parser(
+        "runs",
+        help="list the persistent run ledger (populate it with "
+             "campaign/fig8/fig9 --store)")
+    p_runs.add_argument("--runs-dir", default="",
+                        help="ledger directory (default: $REPRO_RUNS_DIR "
+                             "or .repro/runs)")
+    p_runs.add_argument("--tag", default="",
+                        help="only runs carrying this tag")
+    p_runs.add_argument("--workload", default="",
+                        help="only runs of this workload (benchmark name "
+                             "or source file)")
+    p_runs.add_argument("-t", "--technique", default="",
+                        help="only runs of this technique")
+    p_runs.add_argument("--gc", action="store_true",
+                        help="remove untagged runs and stale staging "
+                             "directories, then list what remains")
+    p_runs.add_argument("--format", choices=["text", "json"],
+                        default="text",
+                        help="output format (default text)")
+    p_runs.set_defaults(func=_cmd_obs_runs)
+
+    p_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two stored runs: outcome-rate significance "
+             "tests, atlas drift, detection-latency shift")
+    p_diff.add_argument("run_a", help="run id prefix or tag (baseline)")
+    p_diff.add_argument("run_b", help="run id prefix or tag (candidate)")
+    p_diff.add_argument("--runs-dir", default="",
+                        help="ledger directory (default: $REPRO_RUNS_DIR "
+                             "or .repro/runs)")
+    p_diff.add_argument("--confidence", type=float, default=0.95,
+                        help="two-proportion test confidence "
+                             "(default 0.95)")
+    p_diff.add_argument("--top", type=int, default=10,
+                        help="atlas-drift sites to show (default 10)")
+    p_diff.add_argument("--force", action="store_true",
+                        help="diff even when the runs differ on more "
+                             "than one identity axis")
+    p_diff.add_argument("--format", choices=["text", "json"],
+                        default="text",
+                        help="output format (default text)")
+    p_diff.set_defaults(func=_cmd_obs_diff)
+
+    p_history = obs_sub.add_parser(
+        "history",
+        help="metric trajectory across stored runs, oldest first, "
+             "with bench-gate regression flagging")
+    p_history.add_argument("metric", nargs="?", default="unace",
+                           choices=["unace", "sdc", "segv", "detected",
+                                    "failure"],
+                           help="rate to track (default unace)")
+    p_history.add_argument("--runs-dir", default="",
+                           help="ledger directory (default: "
+                                "$REPRO_RUNS_DIR or .repro/runs)")
+    p_history.add_argument("--tag", default="",
+                           help="only runs carrying this tag")
+    p_history.add_argument("--workload", default="",
+                           help="only runs of this workload")
+    p_history.add_argument("-t", "--technique", default="",
+                           help="only runs of this technique")
+    p_history.add_argument("--tolerance", type=float, default=0.2,
+                           help="relative regression tolerance vs the "
+                                "previous run (default 0.2)")
+    p_history.add_argument("--format", choices=["text", "json"],
+                           default="text",
+                           help="output format (default text)")
+    p_history.set_defaults(func=_cmd_obs_history)
 
     p_bench = sub.add_parser(
         "bench",

@@ -82,6 +82,17 @@ def _index(records: list[dict]) -> dict[tuple[str, str], dict]:
     return indexed
 
 
+def is_regression(baseline: float, current: float, direction: str,
+                  tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """The gate rule, shared with ``obs history``: a higher-is-better
+    metric regresses when it falls more than ``tolerance`` below the
+    baseline, a lower-is-better one when it rises more than
+    ``tolerance`` above it."""
+    if direction == "higher":
+        return current < baseline * (1.0 - tolerance)
+    return current > baseline * (1.0 + tolerance)
+
+
 def compare_baselines(current: list[dict], baseline: list[dict],
                       tolerance: float = DEFAULT_TOLERANCE
                       ) -> list[MetricCheck]:
@@ -102,10 +113,8 @@ def compare_baselines(current: list[dict], baseline: list[dict],
                 if not isinstance(base, (int, float)) or \
                         not isinstance(new, (int, float)):
                     continue
-                if direction == "higher":
-                    regressed = new < base * (1.0 - tolerance)
-                else:
-                    regressed = new > base * (1.0 + tolerance)
+                regressed = is_regression(float(base), float(new),
+                                          direction, tolerance)
                 checks.append(MetricCheck(
                     kind=kind, key=key, metric=metric,
                     direction=direction, baseline=float(base),

@@ -30,13 +30,21 @@ SCHEMA_VERSION = 1
 
 
 def environment_fingerprint() -> dict:
-    """Where these numbers came from (host + interpreter)."""
+    """Where these numbers came from (host + interpreter + package).
+
+    Shared between bench files and run-registry manifests
+    (:mod:`repro.obs.registry`), so both sides of a cross-machine
+    comparison can tell environments apart the same way.
+    """
+    from .. import __version__
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count() or 1,
+        "version": __version__,
     }
 
 

@@ -56,6 +56,9 @@ def evaluate_performance(
     progress: bool = False,
     telemetry: JsonlSink | None = None,
     profile_path: str = "",
+    store: bool = False,
+    tag: str = "",
+    runs_dir: str = "",
 ) -> PerformanceResults:
     """Time every (benchmark, technique) pair, fault-free.
 
@@ -66,12 +69,23 @@ def evaluate_performance(
     execution per cell with a simulator profiler attached (the timing
     model has its own cycle loop and is not instrumented) and writes
     the per-cell records to one JSONL file for ``obs hotspots``.
+
+    ``store=True`` records each cell's timing in the persistent run
+    ledger; with a ``tag``, cells are tagged
+    ``{tag}/{benchmark}/{technique}`` (see ``obs runs`` / ``obs
+    history``).
     """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
     options = options or PipelineOptions()
     results = PerformanceResults(benchmarks=benchmarks,
                                  techniques=techniques)
+    registry = None
+    if store:
+        from ..obs.registry import RunRegistry
+
+        registry = RunRegistry(runs_dir or None)
+    stored = 0
     profile_records: list[dict] = []
     for bench in benchmarks:
         for tech in techniques:
@@ -91,15 +105,25 @@ def evaluate_performance(
                     context={"benchmark": bench,
                              "technique": tech.value,
                              "run": "golden"}))
+            record = {
+                "kind": "timing", "benchmark": bench,
+                "technique": tech.value, "cycles": cell.cycles,
+                "instructions": cell.instructions,
+                "ipc": round(cell.ipc, 4), "loads": cell.loads,
+                "load_misses": cell.load_misses,
+                "elapsed": round(cell_span.elapsed, 4),
+            }
             if telemetry is not None:
-                telemetry.write({
-                    "kind": "timing", "benchmark": bench,
-                    "technique": tech.value, "cycles": cell.cycles,
-                    "instructions": cell.instructions,
-                    "ipc": round(cell.ipc, 4), "loads": cell.loads,
-                    "load_misses": cell.load_misses,
-                    "elapsed": round(cell_span.elapsed, 4),
-                })
+                telemetry.write(record)
+            if registry is not None:
+                from ..obs.registry import store_timing
+
+                cell_tag = f"{tag}/{bench}/{tech.value}" if tag else ""
+                store_timing(registry, workload={"benchmark": bench},
+                             technique=tech.value,
+                             program=machine.program, record=record,
+                             tag=cell_tag)
+                stored += 1
             if progress:
                 print(
                     f"  {bench:10s} {tech.label:14s} "
@@ -113,6 +137,9 @@ def evaluate_performance(
         if progress:
             print(f"  wrote {len(profile_records)} profile records to "
                   f"{profile_path}", file=sys.stderr)
+    if registry is not None:
+        print(f"  ledger: stored {stored} run(s) under {registry.root}",
+              file=sys.stderr)
     return results
 
 
@@ -158,13 +185,24 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="accepted for parity with campaign/fig8; "
                              "the cycle-timing loop never uses the JIT")
+    parser.add_argument("--store", action="store_true",
+                        help="record every grid cell's timing in the "
+                             "persistent run ledger (see `obs runs`)")
+    parser.add_argument("--tag", default="",
+                        help="ledger tag prefix; cells are tagged "
+                             "TAG/benchmark/technique")
+    parser.add_argument("--runs-dir", default="",
+                        help="ledger directory (default: $REPRO_RUNS_DIR "
+                             "or .repro/runs)")
     args = parser.parse_args(argv)
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(PAPER_BENCHMARKS))
     sink = open_sink(args.telemetry)
     results = evaluate_performance(benchmarks=benchmarks, progress=True,
                                    telemetry=sink,
-                                   profile_path=args.profile)
+                                   profile_path=args.profile,
+                                   store=args.store, tag=args.tag,
+                                   runs_dir=args.runs_dir)
     export_session(sink)
     print(render_figure9(results))
     return 0

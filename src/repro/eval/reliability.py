@@ -101,6 +101,9 @@ def evaluate_reliability(
     max_trials: int = 4000,
     profile_path: str = "",
     jit: bool | None = None,
+    store: bool = False,
+    tag: str = "",
+    runs_dir: str = "",
 ) -> ReliabilityResults:
     """Run the full Figure-8 campaign grid.
 
@@ -131,6 +134,11 @@ def evaluate_reliability(
     contract: ``None`` (the default) compiles each cell's binary with
     the block JIT unless taint or profiling asked for an instrumented
     interpreter; results are bit-identical either way.
+
+    ``store=True`` records every (benchmark, technique) cell in the
+    persistent run ledger (see :mod:`repro.obs.registry`); with a
+    ``tag``, each cell is tagged ``{tag}/{benchmark}/{technique}`` so
+    ``obs diff`` can address individual cells precisely.
     """
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     techniques = list(techniques or PAPER_TECHNIQUES)
@@ -139,6 +147,11 @@ def evaluate_reliability(
                                  benchmarks=benchmarks,
                                  techniques=techniques,
                                  confidence=confidence)
+    registry = None
+    if store:
+        from ..obs.registry import RunRegistry
+
+        registry = RunRegistry(runs_dir or None)
     if adaptive:
         if taint:
             raise ValueError("taint tracing is not supported with "
@@ -149,13 +162,18 @@ def evaluate_reliability(
         _evaluate_adaptive(results, options, telemetry=telemetry,
                            progress=progress, jobs=jobs,
                            ci_width=ci_width, max_trials=max_trials,
-                           jit=jit)
+                           jit=jit, registry=registry, tag=tag)
+        if registry is not None:
+            cells = len(results.benchmarks) * len(results.techniques)
+            print(f"  ledger: stored {cells} run(s) under "
+                  f"{registry.root}", file=sys.stderr)
         return results
     profile_records: list[dict] = []
+    stored = 0
     for bench in benchmarks:
         for tech in techniques:
             log = None
-            if telemetry is not None or taint:
+            if telemetry is not None or taint or registry is not None:
                 log = CampaignLog(context={"benchmark": bench,
                                            "technique": tech.value,
                                            "seed": seed})
@@ -179,6 +197,10 @@ def evaluate_reliability(
                         profile=profiler, jit=jit,
                     )
             results.cells[(bench, tech)] = campaign
+            if registry is not None:
+                _store_cell(registry, bench, tech, seed, campaign, log,
+                            machine.program, tag)
+                stored += 1
             if profiler is not None:
                 profile_records.extend(profiler.to_records(
                     context={"benchmark": bench,
@@ -201,7 +223,25 @@ def evaluate_reliability(
         if progress:
             print(f"  wrote {len(profile_records)} profile records to "
                   f"{profile_path}", file=sys.stderr)
+    if registry is not None:
+        print(f"  ledger: stored {stored} run(s) under {registry.root}",
+              file=sys.stderr)
     return results
+
+
+def _store_cell(registry, bench: str, tech: Technique, seed: int,
+                campaign: CampaignResult, log, program,
+                tag: str, weights: dict | None = None,
+                adaptive: AdaptiveResult | None = None):
+    """Ledger one grid cell under the tag ``{tag}/{bench}/{tech}``."""
+    from ..obs.registry import store_campaign
+
+    cell_tag = f"{tag}/{bench}/{tech.value}" if tag else ""
+    return store_campaign(registry, workload={"benchmark": bench},
+                          technique=tech.value, seed=seed,
+                          result=campaign, log=log, program=program,
+                          weights=weights, adaptive=adaptive,
+                          tag=cell_tag)
 
 
 def _evaluate_adaptive(results: ReliabilityResults,
@@ -209,14 +249,15 @@ def _evaluate_adaptive(results: ReliabilityResults,
                        telemetry: JsonlSink | None,
                        progress: bool, jobs: int,
                        ci_width: float, max_trials: int,
-                       jit: bool | None = None) -> None:
+                       jit: bool | None = None,
+                       registry=None, tag: str = "") -> None:
     """One adaptive suite-level campaign per technique."""
     config = AdaptiveConfig(ci_width=ci_width,
                             confidence=results.confidence,
                             max_trials=max_trials)
     for tech in results.techniques:
         logs = None
-        if telemetry is not None:
+        if telemetry is not None or registry is not None:
             logs = {bench: CampaignLog(context={"benchmark": bench,
                                                 "technique": tech.value,
                                                 "seed": results.seed})
@@ -230,6 +271,15 @@ def _evaluate_adaptive(results: ReliabilityResults,
         results.adaptive[tech] = adaptive
         for bench in results.benchmarks:
             results.cells[(bench, tech)] = adaptive.arm_results[bench]
+        if registry is not None:
+            for bench, machine in machines:
+                weights = {r["stratum"]: r["weight"]
+                           for r in adaptive.stratum_dicts()
+                           if r.get("arm") == bench}
+                _store_cell(registry, bench, tech, results.seed,
+                            adaptive.arm_results[bench], logs[bench],
+                            machine.program, tag,
+                            weights=weights or None, adaptive=adaptive)
         if telemetry is not None:
             for bench in results.benchmarks:
                 telemetry.write_many(logs[bench].to_dicts())
@@ -433,6 +483,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="block-compile each cell's binary "
                              "(default: on unless --taint/--profile; "
                              "results are bit-identical either way)")
+    parser.add_argument("--store", action="store_true",
+                        help="record every grid cell in the persistent "
+                             "run ledger (see `obs runs`)")
+    parser.add_argument("--tag", default="",
+                        help="ledger tag prefix; cells are tagged "
+                             "TAG/benchmark/technique")
+    parser.add_argument("--runs-dir", default="",
+                        help="ledger directory (default: $REPRO_RUNS_DIR "
+                             "or .repro/runs)")
     args = parser.parse_args(argv)
     if args.adaptive and args.profile:
         print("error: --profile is not supported with --adaptive",
@@ -450,7 +509,8 @@ def main(argv: list[str] | None = None) -> int:
                                    confidence=args.confidence,
                                    max_trials=args.max_trials,
                                    profile_path=args.profile,
-                                   jit=args.jit)
+                                   jit=args.jit, store=args.store,
+                                   tag=args.tag, runs_dir=args.runs_dir)
     export_session(sink)
     confidence = (args.confidence if (args.ci or args.adaptive) else None)
     print(render_figure8(results, confidence=confidence))

@@ -50,6 +50,12 @@ class CampaignResult:
     #: serial/parallel/checkpointed paths must compare equal on their
     #: *results* even though their timings differ.
     elapsed_seconds: float = field(default=0.0, compare=False)
+    #: The knobs this campaign was run with, captured at run time for
+    #: run-registry manifests (fault model, seed, trials,
+    #: checkpointing).  Deliberately excludes ``jobs`` -- sharding does
+    #: not change results, so it must not change a manifest hash --
+    #: and is excluded from equality for the same reason as timings.
+    config: dict = field(default_factory=dict, compare=False)
 
     @property
     def trials_per_sec(self) -> float:
@@ -92,6 +98,23 @@ class CampaignResult:
     @property
     def detected_percent(self) -> float:
         return 100.0 * self.count(Outcome.DETECTED) / self.trials
+
+    def summary_dict(self) -> dict:
+        """The deterministic result summary a run manifest records.
+
+        Outcome counts keyed by enum value, plus the audit counters.
+        No timings: manifests hash to the same id regardless of how
+        fast (or sharded) the campaign ran.
+        """
+        return {
+            "trials": self.trials,
+            "outcomes": {outcome.value: count for outcome, count
+                         in sorted(self.counts.items(),
+                                   key=lambda item: item[0].value)},
+            "recoveries": self.recoveries,
+            "never_landed": self.never_landed,
+            "golden_instructions": self.golden_instructions,
+        }
 
     def merged(self, other: "CampaignResult") -> "CampaignResult":
         """Combine two shards of the *same* campaign.
@@ -281,11 +304,18 @@ def _run_campaign_trials(machine, *, trials, seed, log,
             f"golden run did not complete cleanly: {golden.status}"
         )
     result = CampaignResult(golden_instructions=golden.instructions)
+    presampled = sites is not None
     if sites is None:
         rng = random.Random(seed)
         sites = [sample_fault_site(rng, golden.instructions)
                  for _ in range(trials)]
     trials = len(sites)
+    result.config = {
+        "fault_model": "register-seu",
+        "trials": trials,
+        "checkpoint_interval": checkpoint_interval,
+        "presampled_sites": presampled,
+    }
     log_start = len(log.records) if log is not None else 0
     if monitor is not None:
         monitor.begin(total=trials)

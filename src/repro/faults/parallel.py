@@ -295,6 +295,7 @@ def run_parallel_campaign(
         raise SimulationError(
             f"golden run did not complete cleanly: {golden.status}"
         )
+    presampled = sites is not None
     if sites is None:
         rng = random.Random(seed)
         sites = [sample_fault_site(rng, golden.instructions)
@@ -357,6 +358,15 @@ def run_parallel_campaign(
         if shard_dir is not None:
             shutil.rmtree(shard_dir, ignore_errors=True)
     record_campaign_metrics(result, log, log_start)
+    # merged() drops per-shard configs (shards see only their slice);
+    # record the campaign-level knobs here, matching the serial path so
+    # registry manifests hash identically across --jobs.
+    result.config = {
+        "fault_model": "register-seu",
+        "trials": trials,
+        "checkpoint_interval": checkpoint_interval,
+        "presampled_sites": presampled,
+    }
     # Shard-summed elapsed over-counts concurrent work; report the
     # parent's wall clock for the whole sharded campaign instead.
     result.elapsed_seconds = perf_counter() - start_time

@@ -24,7 +24,11 @@ The measurement substrate for everything quantitative in this repo:
   instruction outcome tallies, population-weighted, with escape-route
   edges (``obs atlas``);
 * :mod:`repro.obs.convergence` -- stratum coverage and CI-convergence
-  audit over adaptive telemetry (``obs convergence``).
+  audit over adaptive telemetry (``obs convergence``);
+* :mod:`repro.obs.registry` -- the persistent campaign ledger:
+  content-addressed run manifests + artifacts under ``.repro/runs/``,
+  cross-run diffing, and reliability history (``obs runs`` / ``obs
+  diff`` / ``obs history``).
 
 Telemetry is **off by default**; ``enable()`` switches on span and
 metric collection process-wide.  Campaign logs are explicit (pass a
@@ -73,7 +77,30 @@ from .monitor import (
     render_top,
 )
 from .profile import SimProfiler, render_hotspots
-from .sink import JsonlSink, read_jsonl, summarize_path, summarize_records
+from .registry import (
+    REGISTRY_SCHEMA_VERSION,
+    RegistryError,
+    RunRegistry,
+    StoredRun,
+    diff_tables,
+    history_tables,
+    runs_tables,
+    store_campaign,
+    store_timing,
+)
+from .sink import (
+    JsonlSink,
+    TelemetryError,
+    load_telemetry,
+    read_jsonl,
+    summarize_path,
+    summarize_records,
+)
+
+# Importing the ``repro.obs.registry`` submodule above rebound this
+# package's ``registry`` attribute from the metrics accessor to the
+# module object; restore the long-standing public name.
+from .metrics import registry  # noqa: E402, F811
 from .spans import Span, SpanCollector, collector, disable, enable, enabled, span
 from .trace_export import chrome_trace, export_trace, export_trace_path
 
@@ -92,7 +119,12 @@ __all__ = [
     "JsonlSink",
     "MECHANISMS",
     "MetricsRegistry",
+    "REGISTRY_SCHEMA_VERSION",
+    "RegistryError",
+    "RunRegistry",
     "SimProfiler",
+    "StoredRun",
+    "TelemetryError",
     "Span",
     "SpanCollector",
     "Table",
@@ -106,6 +138,7 @@ __all__ = [
     "collect_site_locations",
     "collector",
     "convergence_tables",
+    "diff_tables",
     "emit_tables",
     "detection_icount",
     "detection_latency",
@@ -116,13 +149,18 @@ __all__ = [
     "export_trace_path",
     "follow_path",
     "forensics_path",
+    "history_tables",
+    "load_telemetry",
     "read_heartbeats",
     "read_jsonl",
     "registry",
     "render_hotspots",
     "render_report",
     "render_top",
+    "runs_tables",
     "span",
+    "store_campaign",
+    "store_timing",
     "summarize_path",
     "summarize_records",
 ]

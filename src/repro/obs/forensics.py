@@ -241,11 +241,13 @@ def _event_cell(attribution: dict) -> tuple[str, str, str]:
             f"{event.get('loc', '?')}@{event.get('icount', '?')}")
 
 
-def render_report(report: ForensicsReport) -> str:
-    """Render a forensics report as human-readable tables."""
-    from ..eval.report import render_table
+def forensics_tables(report: ForensicsReport) -> list:
+    """The report as shared :class:`~repro.obs.emit.Table` objects:
+    one mechanism-count table per campaign cell, plus a failure table
+    for cells that had escapes."""
+    from .emit import Table
 
-    sections = []
+    tables = []
     for group in sorted(report.groups):
         members = report.groups[group]
         counts = report.mechanism_counts(group)
@@ -255,9 +257,10 @@ def render_report(report: ForensicsReport) -> str:
             n = counts.get(mech, 0)
             if n:
                 rows.append([mech, str(n), f"{100.0 * n / total:6.2f}"])
-        sections.append(render_table(
-            ["mechanism", "count", "percent"], rows,
+        tables.append(Table(
             title=f"{group}: {total} trials",
+            columns=["mechanism", "count", "percent"],
+            rows=rows,
         ))
         escapes = report.escapes(group)
         if escapes:
@@ -268,18 +271,25 @@ def render_report(report: ForensicsReport) -> str:
                     str(attribution["trial"]), attribution["outcome"],
                     attribution["mechanism"], event, instr, where,
                 ])
-            sections.append(render_table(
-                ["trial", "outcome", "mechanism", "event",
-                 "instruction", "where"],
-                rows, title=f"{group}: failure forensics",
+            tables.append(Table(
+                title=f"{group}: failure forensics",
+                columns=["trial", "outcome", "mechanism", "event",
+                         "instruction", "where"],
+                rows=rows,
             ))
-    if not sections:
-        return "(no trial records)"
-    return "\n\n".join(sections)
+    return tables
 
 
-def forensics_path(path: str) -> str:
+def render_report(report: ForensicsReport, fmt: str = "text") -> str:
+    """Render a forensics report (text tables or a JSON document)."""
+    from .emit import emit_tables
+
+    return emit_tables(forensics_tables(report), fmt, kind="forensics",
+                       empty="(no trial records)")
+
+
+def forensics_path(path: str, fmt: str = "text") -> str:
     """Read a campaign telemetry file and render its forensics."""
-    from .sink import read_jsonl
+    from .sink import load_telemetry
 
-    return render_report(analyze_records(read_jsonl(path)))
+    return render_report(analyze_records(load_telemetry(path)), fmt)

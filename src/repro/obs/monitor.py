@@ -296,18 +296,19 @@ def aggregate_shards(records: list[dict],
     }
 
 
-def render_top(records: list[dict], top_batches: int = 8,
+def top_tables(records: list[dict], top_batches: int = 8,
                stale_after: float | None = None,
-               now: float | None = None) -> str:
-    """Render a point-in-time view of a (possibly growing) telemetry
-    or heartbeat file, ``top``-style.
+               now: float | None = None) -> list:
+    """The ``obs top`` view as shared
+    :class:`~repro.obs.emit.Table` objects (status lines become
+    title-only tables, which the text renderer emits as bare lines).
 
     ``stale_after`` marks members whose last beat is older than that
     many seconds as DEAD (see :func:`aggregate_shards`).
     """
-    from ..eval.report import render_table
+    from .emit import Table
 
-    sections: list[str] = []
+    sections: list[Table] = []
     beats = [r for r in records if r.get("kind") == "heartbeat"]
 
     campaign = [r for r in beats if r.get("role") == "campaign"]
@@ -325,7 +326,7 @@ def render_top(records: list[dict], top_batches: int = 8,
             reference = time.time() if now is None else now
             if reference - last.get("ts", reference) > stale_after:
                 text += f" (DEAD: no beat in {stale_after:.0f}s)"
-        sections.append(text)
+        sections.append(Table(title=text, columns=[], rows=[]))
 
     summary = aggregate_shards(records, stale_after=stale_after, now=now)
     if summary["shards"]:
@@ -356,9 +357,10 @@ def render_top(records: list[dict], top_batches: int = 8,
         if summary["stale"]:
             title += (f" ({len(summary['stale'])} member(s) DEAD: "
                       f"no beat in {stale_after:.0f}s)")
-        sections.append(render_table(
-            ["shard", "trials", "trials/s", "eta s", ""], rows,
-            title=title))
+        sections.append(Table(
+            title=title,
+            columns=["shard", "trials", "trials/s", "eta s", ""],
+            rows=rows))
 
     adaptive = [r for r in beats if r.get("role") == "adaptive"]
     if adaptive:
@@ -372,11 +374,12 @@ def render_top(records: list[dict], top_batches: int = 8,
             for r in adaptive[-top_batches:]
         ]
         target = 100.0 * adaptive[-1].get("target", 0.0)
-        sections.append(render_table(
-            ["batch", "trials", "estimate%", "hw pts", "projected", "met"],
-            rows,
+        sections.append(Table(
             title=f"Adaptive convergence (target half-width "
-                  f"{target:.2f} pts, last {len(rows)} batches)"))
+                  f"{target:.2f} pts, last {len(rows)} batches)",
+            columns=["batch", "trials", "estimate%", "hw pts",
+                     "projected", "met"],
+            rows=rows))
 
     trials = [r for r in records if r.get("kind") == "trial"]
     if trials:
@@ -386,21 +389,37 @@ def render_top(records: list[dict], top_batches: int = 8,
             counts[outcome] = counts.get(outcome, 0) + 1
         line = ", ".join(f"{outcome}: {n}" for outcome, n
                          in sorted(counts.items(), key=lambda kv: -kv[1]))
-        sections.append(f"trial records so far: {len(trials)} ({line})")
+        sections.append(Table(
+            title=f"trial records so far: {len(trials)} ({line})",
+            columns=[], rows=[]))
+    return sections
 
-    if not sections:
-        return "(no heartbeat or trial records yet)"
-    return "\n\n".join(sections)
+
+def render_top(records: list[dict], top_batches: int = 8,
+               stale_after: float | None = None,
+               now: float | None = None, fmt: str = "text") -> str:
+    """Render a point-in-time view of a (possibly growing) telemetry
+    or heartbeat file, ``top``-style, as text or a JSON document."""
+    from .emit import emit_tables
+
+    return emit_tables(
+        top_tables(records, top_batches=top_batches,
+                   stale_after=stale_after, now=now),
+        fmt, kind="top",
+        empty="(no heartbeat or trial records yet)")
 
 
 def follow_path(path: str, interval: float = 2.0,
                 iterations: int | None = None, stream=None,
-                stale_after: float | None = None) -> int:
+                stale_after: float | None = None,
+                fmt: str = "text") -> int:
     """``obs top``: render ``path`` every ``interval`` seconds.
 
     ``iterations=1`` renders once and returns (``--once``); ``None``
     follows until interrupted.  Returns a shell exit code.
-    ``stale_after`` is forwarded to :func:`render_top`.
+    ``stale_after`` and ``fmt`` are forwarded to :func:`render_top`
+    (the JSON document form is emitted without the timestamp banner,
+    so ``--once --format json`` pipes cleanly).
     """
     stream = stream if stream is not None else sys.stdout
     rendered = 0
@@ -408,11 +427,16 @@ def follow_path(path: str, interval: float = 2.0,
         while True:
             if os.path.exists(path):
                 body = render_top(read_heartbeats(path),
-                                  stale_after=stale_after)
+                                  stale_after=stale_after, fmt=fmt)
+            elif fmt == "json":
+                body = render_top([], fmt=fmt)
             else:
                 body = f"(waiting for {path})"
-            stamp = time.strftime("%H:%M:%S")
-            stream.write(f"-- obs top @ {stamp} -- {path}\n{body}\n")
+            if fmt == "json":
+                stream.write(f"{body}\n")
+            else:
+                stamp = time.strftime("%H:%M:%S")
+                stream.write(f"-- obs top @ {stamp} -- {path}\n{body}\n")
             stream.flush()
             rendered += 1
             if iterations is not None and rendered >= iterations:

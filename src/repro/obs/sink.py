@@ -13,7 +13,9 @@ field-by-field schema.
 from __future__ import annotations
 
 import gzip
+import io
 import json
+import os
 from typing import Iterable
 
 from .emit import Table
@@ -33,12 +35,25 @@ class JsonlSink:
     Paths ending in ``.gz`` are written gzip-compressed (and read back
     transparently by :func:`read_jsonl`), keeping multi-million-event
     taint streams manageable.
+
+    ``atomic=True`` writes to ``<path>.tmp.<pid>`` and renames onto
+    ``path`` only on a clean :meth:`close`: readers never observe a
+    half-written file, and a killed writer leaves the target absent (or
+    its previous version intact) instead of truncated.  The run
+    registry stores every artifact this way.  Atomic ``.gz`` files are
+    additionally byte-deterministic: the gzip header carries no
+    filename and a zeroed mtime, so identical records always produce
+    identical bytes -- a property content-addressed storage needs and
+    plain ``gzip.open`` (which stamps the wall clock) cannot give.
     """
 
-    def __init__(self, path: str, buffer_size: int = 256) -> None:
+    def __init__(self, path: str, buffer_size: int = 256,
+                 atomic: bool = False) -> None:
         self.path = path
         self.buffer_size = max(buffer_size, 1)
+        self.atomic = atomic
         self._handle = None
+        self._raw = None
         self._buffer: list[str] = []
         self.written = 0
 
@@ -46,13 +61,26 @@ class JsonlSink:
     def compressed(self) -> bool:
         return str(self.path).endswith(".gz")
 
+    @property
+    def _write_path(self) -> str:
+        if self.atomic:
+            return f"{self.path}.tmp.{os.getpid()}"
+        return str(self.path)
+
     def open(self) -> None:
         """Open (and truncate) the file now instead of on first write."""
         if self._handle is None:
-            if self.compressed:
-                self._handle = gzip.open(self.path, "wt", encoding="utf-8")
+            if self.compressed and self.atomic:
+                self._raw = open(self._write_path, "wb")
+                self._handle = io.TextIOWrapper(
+                    gzip.GzipFile(filename="", mode="wb",
+                                  fileobj=self._raw, mtime=0),
+                    encoding="utf-8")
+            elif self.compressed:
+                self._handle = gzip.open(self._write_path, "wt",
+                                         encoding="utf-8")
             else:
-                self._handle = open(self.path, "w")
+                self._handle = open(self._write_path, "w")
 
     def write(self, record: dict) -> None:
         self._buffer.append(json.dumps(record, separators=(",", ":")))
@@ -79,14 +107,41 @@ class JsonlSink:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+            if self._raw is not None:
+                # TextIOWrapper closes the GzipFile it wraps, but a
+                # GzipFile built on an explicit fileobj never closes it.
+                self._raw.close()
+                self._raw = None
+            if self.atomic:
+                os.replace(self._write_path, self.path)
+
+    def abort(self) -> None:
+        """Close without publishing (atomic mode): the temp file is
+        flushed and left on disk for post-mortems, the target path is
+        never touched.  Plain sinks fall back to :meth:`close`."""
+        if not self.atomic:
+            self.close()
+            return
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if self._raw is not None:
+            self._raw.close()
+            self._raw = None
 
     def __enter__(self) -> "JsonlSink":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        # Deliberately unconditional: an exception mid-campaign must not
-        # discard the records already produced.
-        self.close()
+        # Deliberately unconditional for plain sinks: an exception
+        # mid-campaign must not discard the records already produced.
+        # Atomic sinks instead withhold the rename, so readers never
+        # see the interrupted write as a complete artifact.
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
         return False
 
 
@@ -99,6 +154,52 @@ def read_jsonl(path: str) -> list[dict]:
             line = line.strip()
             if line:
                 records.append(json.loads(line))
+    return records
+
+
+class TelemetryError(ValueError):
+    """A telemetry file that cannot be loaded as JSONL records.
+
+    Raised (with a one-line, path-and-line-number message) instead of
+    letting ``json``/``gzip`` tracebacks escape to the CLI when a file
+    is missing, empty, truncated mid-record, or not JSONL at all.
+    """
+
+
+def load_telemetry(path: str) -> list[dict]:
+    """:func:`read_jsonl` with diagnostics instead of tracebacks.
+
+    CLI entry points use this so a half-written file from a killed
+    campaign produces ``error: <path>:<line>: ...`` and a nonzero
+    exit, not a JSONDecodeError stack.  An empty file is an error too:
+    every producer writes at least one record, so "no records" means
+    the reader was pointed at the wrong file or a crashed writer.
+    """
+    opener = gzip.open if str(path).endswith(".gz") else open
+    records: list[dict] = []
+    try:
+        with opener(path, "rt") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    raise TelemetryError(
+                        f"{path}:{lineno}: truncated or corrupt JSONL "
+                        "record (campaign killed mid-write?)") from None
+    except TelemetryError:
+        raise
+    except EOFError:
+        raise TelemetryError(
+            f"{path}: truncated gzip stream (writer still running, or "
+            "killed before close?)") from None
+    except OSError as exc:
+        detail = getattr(exc, "strerror", None) or exc
+        raise TelemetryError(f"cannot read {path}: {detail}") from None
+    if not records:
+        raise TelemetryError(f"{path}: no telemetry records (empty file)")
     return records
 
 

@@ -24,6 +24,7 @@ from .estimators import (
     StratifiedEstimate,
     StratumCell,
     estimate_difference,
+    outcome_rate_tests,
     stratified_estimate,
     two_proportion_diff,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "estimate_difference",
     "evaluate_claims",
     "neyman_allocation",
+    "outcome_rate_tests",
     "profile_fault_space",
     "render_claims",
     "run_adaptive_campaign",

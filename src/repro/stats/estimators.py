@@ -192,3 +192,30 @@ def two_proportion_diff(successes1: int, trials1: int,
     low = max(-1.0, (a1 - a2) - zq * se_adj)
     high = min(1.0, (a1 - a2) + zq * se_adj)
     return DifferenceTest(p1 - p2, low, high, z, p_value, confidence)
+
+
+def outcome_rate_tests(counts_a: dict, trials_a: int,
+                       counts_b: dict, trials_b: int,
+                       confidence: float = 0.95,
+                       outcomes: tuple[str, ...] | None = None,
+                       ) -> dict[str, "DifferenceTest"]:
+    """Per-outcome score tests between two *unpaired* stored campaigns.
+
+    Takes the outcome tallies exactly as run-registry manifests record
+    them (``{"unACE": n, "SDC": m, ...}``) and runs
+    :func:`two_proportion_diff` on every outcome either run observed
+    (or the explicit ``outcomes`` tuple).  Returns an outcome ->
+    :class:`DifferenceTest` mapping in a deterministic order: the
+    canonical outcome order first, then anything unexpected sorted.
+    """
+    if outcomes is None:
+        canonical = ("unACE", "DUE", "SDC", "SEGV", "Hang")
+        seen = set(counts_a) | set(counts_b)
+        outcomes = tuple([o for o in canonical if o in seen]
+                         + sorted(seen - set(canonical)))
+    return {
+        outcome: two_proportion_diff(
+            counts_a.get(outcome, 0), trials_a,
+            counts_b.get(outcome, 0), trials_b, confidence)
+        for outcome in outcomes
+    }

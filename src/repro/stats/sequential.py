@@ -161,6 +161,34 @@ class AdaptiveResult:
                 "use .arm_results")
         return next(iter(self.arm_results.values()))
 
+    def config_dict(self) -> dict:
+        """The stopping rule's knobs, flattened for a run-registry
+        manifest config fingerprint."""
+        return {
+            "adaptive": True,
+            "metric": self.config.metric,
+            "ci_width": self.config.ci_width,
+            "confidence": self.config.confidence,
+            "batch_size": self.config.batch_size,
+            "seed_trials": self.config.seed_trials,
+            "max_trials": self.config.max_trials,
+            "profile_samples": self.config.profile_samples,
+            "phases": self.config.phases,
+        }
+
+    def summary_dict(self) -> dict:
+        """The stopping verdict, deterministic, for stored manifests."""
+        return {
+            "trials": self.trials,
+            "target_met": self.target_met,
+            "batches": len(self.batches),
+            "estimate": round(self.estimate.value, 6),
+            "low": round(self.estimate.low, 6),
+            "high": round(self.estimate.high, 6),
+            "half_width": round(self.estimate.half_width, 6),
+            "method": self.estimate.method,
+        }
+
     def arm_estimate(self, arm: str,
                      outcomes: frozenset[Outcome] | tuple[Outcome, ...],
                      confidence: float | None = None) -> StratifiedEstimate:
