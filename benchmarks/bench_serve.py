@@ -1,0 +1,61 @@
+"""Campaign service: submission overhead and cache-hit payoff.
+
+The ``repro.serve`` subsystem promises two things the bench gate
+should hold it to: a submission that misses the ledger cache costs
+roughly one direct campaign (the queue tick, worker fork, and result
+round-trip are bounded overhead, not a multiple of the work), and a
+submission that *hits* the cache costs essentially nothing -- the
+server answers from the ledger without executing a single trial.
+
+This bench times the same spec three ways -- ``direct`` (in-process
+``run_spec`` + store, what ``campaign --store`` costs), ``cold``
+(submitted to a fresh in-thread server with an empty ledger), and
+``cached`` (the identical spec resubmitted) -- and asserts the
+service-layer correctness bars on the side: all three paths land on
+the *same* content-addressed run id, the stored manifests are
+byte-identical, and the cache hit executed zero trials.
+
+The measurement itself lives in :func:`repro.bench.benches.
+measure_serve_suite`, shared with ``python -m repro bench --suite
+serve``; the gated headlines are ``cold_overhead`` (lower is better)
+and ``cached_speedup`` (higher is better).
+
+Run:  pytest benchmarks/bench_serve.py -s
+Exports: BENCH_serve.json (versioned: bench_meta header, one record
+per mode, summary).
+"""
+
+from conftest import TRIALS
+
+from repro.bench import measure_serve_suite, write_bench
+
+SEED = 2006
+
+
+def test_serve_overhead():
+    print()
+    records, details = measure_serve_suite(trials=TRIALS, seed=SEED,
+                                           verbose=True)
+
+    # The service is a cache over the same content-addressed ledger the
+    # CLI writes: every path lands on the same run id, byte for byte.
+    assert details["direct_run"] == details["cold_run"]
+    assert details["cached_run"] == details["cold_run"]
+    assert details["manifests_identical"]
+
+    # The resubmissions were answered from the ledger: the server
+    # executed exactly the two cold campaigns and nothing else.
+    stats = details["stats"]
+    assert stats["executed"] == 2
+    assert stats["cache_hits"] == 3
+    assert stats["failed"] == 0
+
+    # A cache hit costs no trials and beats re-running by a wide margin.
+    cached = next(r for r in records if r["mode"] == "cached")
+    assert cached["trials_executed"] == 0
+    summary = next(r for r in records
+                   if r["kind"] == "serve_bench_summary")
+    assert summary["cached_speedup"] > 2.0
+
+    write_bench("BENCH_serve.json", "serve_overhead", records,
+                seed=SEED, trials=TRIALS)

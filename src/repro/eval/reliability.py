@@ -18,11 +18,11 @@ import os
 import sys
 from dataclasses import dataclass, field
 
-from ..faults.campaign import CampaignResult, run_campaign
+from ..faults.campaign import CampaignResult
 from ..faults.outcomes import Outcome
 from ..faults.stats import Proportion
-from ..faults.parallel import run_parallel_campaign
 from ..obs.campaign_log import CampaignLog
+from ..serve.spec import CampaignSpec, run_spec
 from ..obs.sink import JsonlSink
 from ..obs.spans import span
 from ..stats.claims import evaluate_claims, render_claims
@@ -185,17 +185,12 @@ def evaluate_reliability(
             with span("fig8.cell", benchmark=bench,
                       technique=tech.value) as cell_span:
                 machine = prepare_machine(bench, tech, options)
-                if jobs == 1:
-                    campaign = run_campaign(machine.program, trials=trials,
-                                            seed=seed, machine=machine,
-                                            log=log, taint=taint,
-                                            profile=profiler, jit=jit)
-                else:
-                    campaign = run_parallel_campaign(
-                        machine.program, trials=trials, seed=seed,
-                        jobs=jobs, machine=machine, log=log, taint=taint,
-                        profile=profiler, jit=jit,
-                    )
+                spec = CampaignSpec(technique=tech.value, workload=bench,
+                                    seed=seed, trials=trials, jobs=jobs)
+                campaign = run_spec(spec, machine.program,
+                                    machine=machine, log=log,
+                                    taint=taint, profile=profiler,
+                                    jit=jit).result
             results.cells[(bench, tech)] = campaign
             if registry is not None:
                 _store_cell(registry, bench, tech, seed, campaign, log,

@@ -302,6 +302,18 @@ class RunRegistry:
         records = self.artifact_records(run_id, "atlas")
         return Atlas(records[0]) if records else None
 
+    def staging_dirs(self) -> list[str]:
+        """Leftover ``.staging-*`` directories: a store that died
+        between staging and rename.  Harmless litter -- never a
+        half-stored run -- listed by ``obs runs`` under a STAGING flag
+        and reclaimed by :meth:`gc`."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name for name in os.listdir(self.root)
+            if name.startswith(".staging-")
+            and os.path.isdir(os.path.join(self.root, name)))
+
     # ----------------------------------------------------------- removal
     def remove(self, run_id: str) -> None:
         shutil.rmtree(self.run_dir(run_id), ignore_errors=True)
@@ -458,11 +470,28 @@ def runs_tables(registry: RunRegistry, tag: str = "",
             f"{100 * fail:6.2f}" if fail is not None else "-",
             "" if entry["present"] else "MISSING",
         ])
+    runs = len(rows)
+    notes = []
+    staging = registry.staging_dirs() if not (tag or workload
+                                              or technique) else []
+    for name in staging:
+        try:
+            ts = os.path.getmtime(os.path.join(registry.root, name))
+        except OSError:
+            ts = None
+        rows.append([name, "-", _stamp(ts), "-", "-", "-", "-", "-",
+                     "-", "STAGING"])
+    if staging:
+        notes.append(f"{len(staging)} staging dir(s) left by crashed "
+                     "store(s); reclaim with `obs runs --gc`")
+    title = f"Run ledger ({registry.root}): {runs} run(s)"
+    if staging:
+        title += f" + {len(staging)} staging"
     return [Table(
-        title=f"Run ledger ({registry.root}): {len(rows)} run(s)",
+        title=title,
         columns=["run", "tags", "stored", "workload", "technique",
                  "seed", "trials", "unACE%", "fail%", ""],
-        rows=rows,
+        rows=rows, notes=notes,
     )] if rows else []
 
 

@@ -1,0 +1,38 @@
+"""Campaign-as-a-service: queued campaign jobs over a line protocol.
+
+The service turns the sharded runner plus the content-addressed run
+ledger into a long-lived multi-client system:
+
+* :mod:`repro.serve.spec` -- the one true spec-to-run path:
+  :class:`CampaignSpec` (workload, technique, fault model, seed,
+  fixed/adaptive knobs) and :func:`run_spec`, shared by the CLI, the
+  Figure-8 harness, and the service workers;
+* :mod:`repro.serve.queue` -- a pure, asyncio-free priority job queue
+  with per-client rate limits, cancellation, and a crash-safe spool
+  that re-queues accepted-but-unfinished jobs after a restart;
+* :mod:`repro.serve.workers` -- the multiprocessing worker fleet: one
+  forked process per running job, heartbeats streamed through
+  :mod:`repro.obs.monitor`, results handed back via atomic files;
+* :mod:`repro.serve.protocol` -- the stdlib-only JSON-lines TCP
+  protocol (submit / status / jobs / cancel / fetch / watch / stats);
+* :mod:`repro.serve.server` -- the asyncio front end behind
+  ``python -m repro serve``, with a ledger-first result layer:
+  submissions whose predicted manifest identity is already stored are
+  answered from cache without running a single trial;
+* :mod:`repro.serve.client` -- the thin synchronous client behind
+  ``python -m repro submit/status/fetch/cancel``.
+
+See ``docs/service.md`` for the protocol and cache semantics.
+"""
+
+from __future__ import annotations
+
+from .spec import CampaignSpec, SpecError, SpecRun, find_cached, run_spec
+
+__all__ = [
+    "CampaignSpec",
+    "SpecError",
+    "SpecRun",
+    "find_cached",
+    "run_spec",
+]

@@ -1,0 +1,289 @@
+"""The thin service client behind ``python -m repro submit`` et al.
+
+:class:`ServiceClient` wraps the line protocol with one short-lived
+connection per call (``watch`` keeps its connection open for the
+stream).  The CLI command functions at the bottom are what
+``repro.__main__`` dispatches to; they print in the same
+``key       : value`` style the rest of the CLI uses.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    Connection,
+    unpack_bytes,
+)
+from .spec import CampaignSpec, SpecError
+
+
+class ServiceError(RuntimeError):
+    """The service answered ``ok=false`` (reply kept on ``.reply``)."""
+
+    def __init__(self, reply: dict) -> None:
+        super().__init__(str(reply.get("error") or "service error"))
+        self.reply = reply
+
+
+class ServiceClient:
+    """Blocking client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT,
+                 timeout: float | None = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, payload: dict) -> dict:
+        with Connection(self.host, self.port,
+                        timeout=self.timeout) as conn:
+            reply = conn.request(payload)
+        if not reply.get("ok"):
+            raise ServiceError(reply)
+        return reply
+
+    # ---------------------------------------------------------------- ops
+    def ping(self) -> dict:
+        return self._request({"op": "ping"})
+
+    def submit(self, spec: CampaignSpec, *, client: str = "",
+               priority: int = 0, tag: str = "") -> dict:
+        payload = {"op": "submit", "spec": spec.to_dict(),
+                   "priority": priority}
+        if client:
+            payload["client"] = client
+        if tag:
+            payload["tag"] = tag
+        return self._request(payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._request({"op": "status", "job": job_id})
+
+    def jobs(self) -> dict:
+        return self._request({"op": "jobs"})
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request({"op": "cancel", "job": job_id})
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self._request({"op": "shutdown"})
+
+    def watch(self, job_id: str):
+        """Yield a job's heartbeat records, then its final status
+        (``final=true``).  Raises :class:`ServiceError` on an error
+        reply mid-stream."""
+        with Connection(self.host, self.port,
+                        timeout=self.timeout) as conn:
+            for reply in conn.stream({"op": "watch", "job": job_id}):
+                if not reply.get("ok"):
+                    raise ServiceError(reply)
+                yield reply
+
+    def wait(self, job_id: str) -> dict:
+        """Block until the job is terminal; returns its final status."""
+        final: dict = {}
+        for reply in self.watch(job_id):
+            if reply.get("final"):
+                final = reply
+        return final
+
+    def fetch(self, *, job: str = "", run: str = "",
+              dest: str = ".") -> tuple[str, list[str]]:
+        """Download one stored run into ``dest/<run_id>/``.
+
+        Files land with their original bytes (the wire gzip wrapper is
+        stripped), so the fetched directory diffs clean against the
+        server-side run directory.  Returns the run id and the written
+        paths.
+        """
+        payload: dict = {"op": "fetch"}
+        if job:
+            payload["job"] = job
+        elif run:
+            payload["run"] = run
+        reply = self._request(payload)
+        run_id = str(reply.get("run"))
+        run_dir = os.path.join(dest, run_id)
+        os.makedirs(run_dir, exist_ok=True)
+        written = []
+        for name in sorted(reply.get("files") or {}):
+            entry = reply["files"][name]
+            data = unpack_bytes(entry)
+            path = os.path.join(run_dir, os.path.basename(name))
+            with open(path, "wb") as out:
+                out.write(data)
+            written.append(path)
+        return run_id, written
+
+
+# ----------------------------------------------------------------- CLI
+def _client(args) -> ServiceClient:
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def _fail(exc: Exception) -> int:
+    print(f"error     : {exc}", file=sys.stderr)
+    return 1
+
+
+def _print_job(reply: dict) -> None:
+    print(f"job       : {reply.get('job')}")
+    state = reply.get("state")
+    line = f"state     : {state}"
+    if state == "queued" and reply.get("position"):
+        line += f" (position {reply['position']})"
+    if state == "cached":
+        line += " (served from the run ledger, zero trials executed)"
+    print(line)
+    if reply.get("describe"):
+        print(f"spec      : {reply['describe']}")
+    if reply.get("run"):
+        print(f"run       : {reply['run']}")
+    if reply.get("error"):
+        print(f"error     : {reply['error']}")
+
+
+def _spec_from_args(args) -> CampaignSpec:
+    """Build the spec a ``submit`` invocation describes.
+
+    ``--ci-width`` arrives in percentage points (matching the
+    ``campaign --adaptive`` CLI) and is converted to a fraction here.
+    ``--inline`` ships the file's *text* instead of its path, for
+    servers that do not share a filesystem with the client -- note the
+    run is then ledgered under a content hash, not the path.
+    """
+    kwargs: dict = {
+        "technique": args.technique,
+        "seed": args.seed,
+        "jobs": args.jobs,
+    }
+    if args.workload:
+        kwargs["workload"] = args.workload
+    elif args.file:
+        if args.inline:
+            try:
+                with open(args.file) as handle:
+                    kwargs["source_text"] = handle.read()
+            except OSError as exc:
+                raise SpecError(
+                    f"cannot read {args.file!r}: "
+                    f"{exc.strerror or exc}") from None
+        else:
+            kwargs["source"] = args.file
+    else:
+        raise SpecError("submit needs a source FILE or --workload NAME")
+    if args.adaptive:
+        kwargs.update(adaptive=True, metric=args.metric,
+                      ci_width=args.ci_width / 100.0,
+                      confidence=args.confidence,
+                      max_trials=args.max_trials)
+    else:
+        kwargs["trials"] = args.trials
+    return CampaignSpec(**kwargs)
+
+
+def main_submit(args) -> int:
+    try:
+        spec = _spec_from_args(args)
+    except SpecError as exc:
+        return _fail(exc)
+    client = _client(args)
+    try:
+        reply = client.submit(spec, client=args.client,
+                              priority=args.priority, tag=args.tag)
+    except (ConnectionError, ServiceError) as exc:
+        return _fail(exc)
+    _print_job(dict(reply, describe=spec.describe()))
+    if reply.get("state") == "cached" or not args.wait:
+        return 0
+    job_id = str(reply.get("job"))
+    final: dict = {}
+    try:
+        for update in client.watch(job_id):
+            if update.get("final"):
+                final = update
+            elif update.get("kind") == "heartbeat":
+                done = update.get("completed", 0)
+                total = update.get("total")
+                line = f"progress  : {done}"
+                if total:
+                    line += f"/{total}"
+                line += f" trials, {update.get('trials_per_sec', 0.0)}/s"
+                if update.get("half_width") is not None:
+                    line += (f", hw {100 * update['half_width']:.2f} pts")
+                print(line)
+    except (ConnectionError, ServiceError) as exc:
+        return _fail(exc)
+    _print_job(final)
+    return 0 if final.get("state") in ("done", "cached") else 1
+
+
+def main_status(args) -> int:
+    client = _client(args)
+    try:
+        if args.job:
+            reply = client.status(args.job)
+        else:
+            reply = client.jobs()
+    except (ConnectionError, ServiceError) as exc:
+        return _fail(exc)
+    if args.job:
+        _print_job(reply)
+        progress = reply.get("progress")
+        if progress:
+            done = progress.get("completed", 0)
+            total = progress.get("total")
+            line = f"progress  : {done}"
+            if total:
+                line += f"/{total}"
+            line += f" trials, {progress.get('trials_per_sec', 0.0)}/s"
+            print(line)
+        return 0
+    jobs = reply.get("jobs") or []
+    if not jobs:
+        print("(no jobs; submit one with `python -m repro submit`)")
+        return 0
+    for job in jobs:
+        state = job.get("state", "?")
+        run = f"  run {job['run']}" if job.get("run") else ""
+        err = f"  ({job['error']})" if job.get("error") else ""
+        print(f"{job.get('job')}  {state:9s}  "
+              f"{job.get('describe', '')}{run}{err}")
+    counts = reply.get("counts") or {}
+    if counts:
+        print("counts    : " + ", ".join(
+            f"{state}: {n}" for state, n in sorted(counts.items())))
+    return 0
+
+
+def main_fetch(args) -> int:
+    client = _client(args)
+    try:
+        run_id, written = client.fetch(job=args.job, run=args.run,
+                                       dest=args.dest)
+    except (ConnectionError, ServiceError) as exc:
+        return _fail(exc)
+    print(f"run       : {run_id}")
+    for path in written:
+        print(f"fetched   : {path}")
+    print(f"dir       : {os.path.join(args.dest, run_id)}")
+    return 0
+
+
+def main_cancel(args) -> int:
+    client = _client(args)
+    try:
+        reply = client.cancel(args.job)
+    except (ConnectionError, ServiceError) as exc:
+        return _fail(exc)
+    print(f"job       : {reply.get('job')}")
+    print(f"state     : cancelled (was {reply.get('was')})")
+    return 0

@@ -1,0 +1,164 @@
+"""The service wire protocol: JSON objects, one per line, over TCP.
+
+Stdlib-only and deliberately boring: every request is a single JSON
+object terminated by ``\\n`` carrying an ``op`` field; every response
+is a single JSON object with ``ok`` (``watch`` additionally streams
+intermediate objects before its final ``ok`` one).  Anything -- netcat,
+a CI script, the bundled client -- can speak it.
+
+Ops (see ``docs/service.md`` for schemas):
+
+=========  ==========================================================
+``ping``      liveness + protocol/version handshake
+``submit``    enqueue a campaign spec (or hit the ledger cache)
+``status``    one job's state + live heartbeat progress
+``jobs``      every job the server knows, submission order
+``cancel``    cancel a queued or running job
+``fetch``     a stored run's manifest + artifacts, gzip+base64
+``watch``     stream a job's heartbeats until it reaches a terminal
+              state, then its final status
+``stats``     queue depth, worker occupancy, cache-hit counters
+``shutdown``  drain nothing, stop now (the spool re-queues later)
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import base64
+import gzip
+import io
+import json
+import socket
+
+#: Bump on incompatible wire changes; both ends exchange it in ping.
+PROTOCOL_VERSION = 1
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7906
+
+#: Fetch replies carry whole gzipped artifact files as base64; a line
+#: cap bounds memory against garbage or hostile peers.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+OPS = ("ping", "submit", "status", "jobs", "cancel", "fetch", "watch",
+       "stats", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A malformed frame (not JSON, not an object, over the cap)."""
+
+
+def encode_message(payload: dict) -> bytes:
+    """One frame: compact JSON + newline."""
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> dict:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame over {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return payload
+
+
+def error_reply(message: str, **extra) -> dict:
+    return dict({"ok": False, "error": message}, **extra)
+
+
+# ------------------------------------------------------------- artifacts
+def pack_bytes(data: bytes) -> dict:
+    """Wire-pack one artifact file.
+
+    Already-gzipped files (the ``trials`` ledger artifact) travel as
+    plain base64; everything else is wrapped in *deterministic* gzip
+    (``mtime=0``, no filename -- the ledger's own convention) so JSONL
+    and JSON artifacts ship compressed.  :func:`unpack_bytes` returns
+    the original bytes either way, which is what keeps fetched runs
+    byte-identical to the stored directory.
+    """
+    if data[:2] == b"\x1f\x8b":
+        return {"encoding": "base64", "data":
+                base64.b64encode(data).decode("ascii")}
+    buffer = io.BytesIO()
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as zipped:
+        zipped.write(data)
+    return {"encoding": "gzip+base64", "data":
+            base64.b64encode(buffer.getvalue()).decode("ascii")}
+
+
+def unpack_bytes(entry: dict) -> bytes:
+    try:
+        raw = base64.b64decode(entry["data"], validate=True)
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"bad artifact payload: {exc}") from None
+    encoding = entry.get("encoding", "base64")
+    if encoding == "base64":
+        return raw
+    if encoding == "gzip+base64":
+        try:
+            return gzip.decompress(raw)
+        except OSError as exc:
+            raise ProtocolError(
+                f"bad gzip artifact payload: {exc}") from None
+    raise ProtocolError(f"unknown artifact encoding {encoding!r}")
+
+
+# ---------------------------------------------------------- sync client IO
+class Connection:
+    """One blocking client connection (context manager).
+
+    ``request`` sends one frame and reads one reply; ``stream`` sends
+    one frame and yields replies until the server closes or a reply
+    carries ``"final": true`` (the ``watch`` op's terminator).
+    """
+
+    def __init__(self, host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT,
+                 timeout: float | None = 60.0) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise ConnectionError(
+                f"cannot reach repro service at {host}:{port}: {exc} "
+                "(start one with `python -m repro serve`)") from None
+        self._file = self._sock.makefile("rb")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def _read_reply(self) -> dict:
+        line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError(
+                f"service at {self.host}:{self.port} closed the "
+                "connection mid-reply")
+        return decode_message(line)
+
+    def request(self, payload: dict) -> dict:
+        self._sock.sendall(encode_message(payload))
+        return self._read_reply()
+
+    def stream(self, payload: dict):
+        self._sock.sendall(encode_message(payload))
+        while True:
+            reply = self._read_reply()
+            yield reply
+            if reply.get("final") or not reply.get("ok", True):
+                return

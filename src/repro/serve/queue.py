@@ -1,0 +1,294 @@
+"""The service's job queue: priorities, rate limits, cancellation,
+and a crash-safe spool.
+
+Deliberately pure -- no asyncio, no sockets, no processes -- so queue
+semantics (FIFO within priority, per-client pending caps, queued-vs-
+running cancellation, restart re-queue) are unit-testable without a
+server.  The server owns one :class:`JobQueue` and one
+:class:`JobSpool` and serializes access from its event loop.
+
+The spool is an append-only JSONL log (``job_accepted`` /
+``job_finished`` / ``job_cancelled`` events).  :meth:`JobSpool.replay`
+folds it into the accepted-but-unfinished jobs, in submission order,
+so a restarted server re-queues exactly the work it had promised --
+including jobs that were *running* when the process died (their worker
+died with it; the spec re-executes, and the ledger cache makes the
+retry free when the store had already landed).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from .spec import CampaignSpec
+
+#: Job lifecycle states.  ``cached`` is terminal at birth: the ledger
+#: already held the run, so no worker ever saw the job.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+CACHED = "cached"
+
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, CACHED)
+
+#: Default per-client cap on jobs that are queued or running at once.
+DEFAULT_MAX_PENDING = 8
+
+
+class QueueError(ValueError):
+    """An operation on a job the queue cannot honor."""
+
+
+class RateLimitError(QueueError):
+    """A client at its pending-job cap tried to submit another."""
+
+    def __init__(self, client: str, pending: int, limit: int) -> None:
+        super().__init__(
+            f"client {client!r} has {pending} pending job(s), "
+            f"at its limit of {limit}; wait for one to finish "
+            "(or cancel one) and resubmit")
+        self.client = client
+        self.pending = pending
+        self.limit = limit
+
+
+@dataclass
+class Job:
+    """One accepted campaign submission."""
+
+    id: str
+    spec: CampaignSpec
+    client: str = "anon"
+    priority: int = 0
+    seq: int = 0
+    tag: str = ""
+    state: str = QUEUED
+    run_id: str = ""
+    error: str = ""
+    submitted: float = field(default=0.0, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def public_dict(self) -> dict:
+        """The wire form ``status``/``jobs`` replies carry."""
+        out = {
+            "job": self.id,
+            "state": self.state,
+            "client": self.client,
+            "priority": self.priority,
+            "spec": self.spec.to_dict(),
+            "describe": self.spec.describe(),
+        }
+        if self.tag:
+            out["tag"] = self.tag
+        if self.run_id:
+            out["run"] = self.run_id
+        if self.error:
+            out["error"] = self.error
+        if self.state == CACHED:
+            out["cached"] = True
+        return out
+
+
+class JobQueue:
+    """Priority queue of :class:`Job`: higher ``priority`` runs first,
+    FIFO within a priority level, lazy deletion for cancelled jobs."""
+
+    def __init__(self, max_pending: int = DEFAULT_MAX_PENDING) -> None:
+        self.max_pending = max(int(max_pending), 1)
+        self._jobs: dict[str, Job] = {}
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------- submit
+    def pending_for(self, client: str) -> int:
+        """Jobs this client has queued or running right now."""
+        return sum(1 for job in self._jobs.values()
+                   if job.client == client
+                   and job.state in (QUEUED, RUNNING))
+
+    def submit(self, spec: CampaignSpec, *, client: str = "anon",
+               priority: int = 0, tag: str = "",
+               job_id: str | None = None,
+               enforce_limit: bool = True) -> Job:
+        """Accept one spec; :class:`RateLimitError` if the client is at
+        its pending cap.  ``enforce_limit=False`` is the restart-replay
+        path: jobs the server already accepted are never re-rejected.
+        """
+        if enforce_limit:
+            pending = self.pending_for(client)
+            if pending >= self.max_pending:
+                raise RateLimitError(client, pending, self.max_pending)
+        seq = next(self._seq)
+        job = Job(id=job_id or f"j{seq:05d}", spec=spec, client=client,
+                  priority=int(priority), seq=seq, tag=tag,
+                  submitted=time.time())
+        if job.id in self._jobs:
+            raise QueueError(f"duplicate job id {job.id!r}")
+        self._jobs[job.id] = job
+        heapq.heappush(self._heap, (-job.priority, seq, job.id))
+        return job
+
+    # --------------------------------------------------------- scheduling
+    def next_job(self) -> Job | None:
+        """Pop the runnable job with the highest priority (FIFO within
+        one level) and mark it running; ``None`` when nothing waits."""
+        while self._heap:
+            _neg_priority, _seq, job_id = heapq.heappop(self._heap)
+            job = self._jobs.get(job_id)
+            if job is not None and job.state == QUEUED:
+                job.state = RUNNING
+                return job
+        return None
+
+    def position(self, job_id: str) -> int | None:
+        """1-based place in line for a queued job, else ``None``."""
+        job = self._jobs.get(job_id)
+        if job is None or job.state != QUEUED:
+            return None
+        ahead = sorted(
+            (-j.priority, j.seq)
+            for j in self._jobs.values() if j.state == QUEUED)
+        return ahead.index((-job.priority, job.seq)) + 1
+
+    # ------------------------------------------------------------- lookup
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def require(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise QueueError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """Every known job, in submission order."""
+        return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # -------------------------------------------------------- transitions
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job; returns the state it was in (``queued`` or
+        ``running`` -- the caller must also kill the worker for the
+        latter).  :class:`QueueError` for unknown or terminal jobs."""
+        job = self.require(job_id)
+        if job.terminal:
+            raise QueueError(
+                f"job {job_id} already finished ({job.state})")
+        was = job.state
+        job.state = CANCELLED
+        return was
+
+    def finish(self, job_id: str, *, state: str, run_id: str = "",
+               error: str = "") -> Job:
+        """Move a running job to a terminal state (worker completion)."""
+        if state not in TERMINAL_STATES:
+            raise QueueError(f"not a terminal state: {state!r}")
+        job = self.require(job_id)
+        job.state = state
+        if run_id:
+            job.run_id = run_id
+        if error:
+            job.error = error
+        return job
+
+    def mark_cached(self, job_id: str, run_id: str) -> Job:
+        """Terminal at birth: the ledger already held this spec's run."""
+        return self.finish(job_id, state=CACHED, run_id=run_id)
+
+
+class JobSpool:
+    """Append-only persistence for accepted jobs (restart re-queue)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def _append(self, event: dict) -> None:
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        with open(self.path, "a") as spool:
+            spool.write(json.dumps(event, sort_keys=True,
+                                   separators=(",", ":")))
+            spool.write("\n")
+            spool.flush()
+            os.fsync(spool.fileno())
+
+    def record_accepted(self, job: Job) -> None:
+        self._append({
+            "kind": "job_accepted",
+            "job": job.id,
+            "client": job.client,
+            "priority": job.priority,
+            "tag": job.tag,
+            "spec": job.spec.to_dict(),
+            "ts": round(time.time(), 3),
+        })
+
+    def record_finished(self, job: Job) -> None:
+        event = {
+            "kind": "job_finished",
+            "job": job.id,
+            "state": job.state,
+            "ts": round(time.time(), 3),
+        }
+        if job.run_id:
+            event["run"] = job.run_id
+        if job.error:
+            event["error"] = job.error
+        self._append(event)
+
+    def events(self) -> list[dict]:
+        """Every parseable spool event (a torn final line from a crash
+        mid-append is dropped, like heartbeat readers do)."""
+        if not os.path.isfile(self.path):
+            return []
+        events = []
+        with open(self.path) as spool:
+            for line in spool:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(event, dict):
+                    events.append(event)
+        return events
+
+    def replay(self) -> list[dict]:
+        """Accepted-but-unfinished jobs, oldest first: what a restarted
+        server must re-queue.  Specs that no longer validate (e.g. a
+        source file deleted between runs) are skipped rather than
+        poisoning the queue."""
+        accepted: dict[str, dict] = {}
+        for event in self.events():
+            kind = event.get("kind")
+            job_id = event.get("job")
+            if not job_id:
+                continue
+            if kind == "job_accepted":
+                accepted[job_id] = event
+            elif kind in ("job_finished", "job_cancelled"):
+                accepted.pop(job_id, None)
+        survivors = []
+        for event in accepted.values():
+            try:
+                CampaignSpec.from_dict(event.get("spec") or {})
+            except Exception:
+                continue
+            survivors.append(event)
+        return survivors

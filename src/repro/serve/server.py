@@ -1,0 +1,498 @@
+"""The asyncio service front end behind ``python -m repro serve``.
+
+One event loop owns the TCP listener, the :class:`JobQueue`, the
+:class:`JobSpool`, and a polling scheduler that feeds the
+:class:`WorkerPool`.  Campaign work itself never runs on the loop:
+submissions are answered from the run ledger when a stored manifest
+already matches the spec's predicted identity (the cache probe runs in
+a thread -- it compiles the program to hash it), and everything else
+executes in forked worker processes.
+
+Restart safety: every accepted job is spooled before the client hears
+about it, and every terminal transition is spooled too.  ``start()``
+replays the spool and re-queues accepted-but-unfinished jobs -- jobs
+that were mid-flight when the process died simply run again, and the
+ledger-first result layer turns the retry into a cache hit whenever
+the store had already landed.
+
+State lives under ``--state-dir`` (default ``.repro/serve``) --
+deliberately *outside* the runs ledger, whose ``gc`` reaps unknown
+directories.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+import sys
+import threading
+import time
+
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_reply,
+    pack_bytes,
+)
+from .queue import (
+    CACHED,
+    CANCELLED,
+    DEFAULT_MAX_PENDING,
+    DONE,
+    FAILED,
+    JobQueue,
+    JobSpool,
+    QUEUED,
+    QueueError,
+    RateLimitError,
+    RUNNING,
+)
+from .spec import CampaignSpec, SpecError, find_cached, prepare_spec
+from .workers import WorkerPool
+
+DEFAULT_STATE_DIR = os.path.join(".repro", "serve")
+
+#: Scheduler poll period: reap finished workers, fill free slots.
+_TICK_SECONDS = 0.05
+
+#: Watch-stream poll period for new heartbeat records.
+_WATCH_POLL_SECONDS = 0.2
+
+
+class CampaignServer:
+    """The campaign-as-a-service daemon (one instance, one loop)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 runs_dir: str | None = None,
+                 state_dir: str | None = None, workers: int = 2,
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 log_stream=None, quiet: bool = False) -> None:
+        from ..obs.registry import RunRegistry
+
+        self.host = host
+        self.port = port
+        self.registry = RunRegistry(runs_dir or None)
+        self.state_dir = state_dir or DEFAULT_STATE_DIR
+        self.queue = JobQueue(max_pending=max_pending)
+        self.spool = JobSpool(os.path.join(self.state_dir,
+                                           "spool.jsonl"))
+        self.pool = WorkerPool(self.state_dir, self.registry.root,
+                               limit=workers)
+        self.stats = {"submitted": 0, "cache_hits": 0, "executed": 0,
+                      "done": 0, "failed": 0, "cancelled": 0,
+                      "rejected": 0, "requeued": 0}
+        self._log_stream = log_stream if log_stream is not None \
+            else sys.stderr
+        self._quiet = quiet
+        self._server: asyncio.base_events.Server | None = None
+        self._scheduler_task: asyncio.Task | None = None
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -------------------------------------------------------------- logging
+    def log(self, message: str) -> None:
+        if self._quiet:
+            return
+        stamp = time.strftime("%H:%M:%S")
+        print(f"[serve {stamp}] {message}", file=self._log_stream,
+              flush=True)
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Replay the spool, bind the socket, start the scheduler."""
+        os.makedirs(self.state_dir, exist_ok=True)
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        for event in self.spool.replay():
+            spec = CampaignSpec.from_dict(event.get("spec") or {})
+            self.queue.submit(
+                spec, client=str(event.get("client") or "anon"),
+                priority=int(event.get("priority") or 0),
+                tag=str(event.get("tag") or ""),
+                job_id=str(event.get("job")), enforce_limit=False)
+            self.stats["requeued"] += 1
+            self.log(f"requeued {event.get('job')} from spool "
+                     f"({spec.describe()})")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port,
+            limit=MAX_LINE_BYTES + 2)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.ensure_future(self._scheduler())
+        self.log(f"listening on {self.host}:{self.port} "
+                 f"(workers={self.pool.limit}, "
+                 f"runs={self.registry.root}, state={self.state_dir})")
+
+    async def close(self) -> None:
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._scheduler_task = None
+        self.pool.shutdown()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.log("stopped")
+
+    async def run(self) -> None:
+        """Start, serve until stopped (shutdown op or
+        :meth:`request_stop`), then close."""
+        await self.start()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.close()
+
+    def request_stop(self) -> None:
+        """Thread-safe stop signal (tests, signal handlers)."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run the whole server on a background thread (tests, the
+        bench suite).  Returns once the socket is bound; ``self.port``
+        then holds the real port (useful with ``port=0``)."""
+        ready = threading.Event()
+        failures: list[BaseException] = []
+
+        async def _main() -> None:
+            try:
+                await self.start()
+            except BaseException as exc:
+                failures.append(exc)
+                ready.set()
+                return
+            ready.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await self.close()
+
+        thread = threading.Thread(target=lambda: asyncio.run(_main()),
+                                  name="repro-serve", daemon=True)
+        thread.start()
+        if not ready.wait(timeout=60):
+            raise RuntimeError("service did not start within 60s")
+        if failures:
+            raise failures[0]
+        return thread
+
+    # ------------------------------------------------------------ scheduler
+    def _reap_workers(self) -> None:
+        for job_id, payload in self.pool.reap():
+            job = self.queue.get(job_id)
+            if job is None:  # pragma: no cover - cannot happen
+                continue
+            if job.state == CANCELLED:
+                continue  # cancellation already recorded the verdict
+            if payload is None:
+                job = self.queue.finish(
+                    job_id, state=FAILED,
+                    error="worker died without writing a result")
+            elif payload.get("ok"):
+                job = self.queue.finish(job_id, state=DONE,
+                                        run_id=str(payload.get("run")))
+            else:
+                job = self.queue.finish(
+                    job_id, state=FAILED,
+                    error=str(payload.get("error") or "unknown error"))
+            self.stats["done" if job.state == DONE else "failed"] += 1
+            self.spool.record_finished(job)
+            self.log(f"{job.state} {job.id}"
+                     + (f" -> run {job.run_id}" if job.run_id else "")
+                     + (f" ({job.error})" if job.error else ""))
+
+    def _fill_workers(self) -> None:
+        while self.pool.has_capacity():
+            job = self.queue.next_job()
+            if job is None:
+                return
+            self.pool.spawn(job)
+            self.stats["executed"] += 1
+            self.log(f"running {job.id} ({job.spec.describe()})")
+
+    async def _scheduler(self) -> None:
+        while not self._stop.is_set():
+            self._reap_workers()
+            self._fill_workers()
+            await asyncio.sleep(_TICK_SECONDS)
+
+    # ------------------------------------------------------------- dispatch
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_message(error_reply(
+                        f"frame over {MAX_LINE_BYTES} bytes")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    payload = decode_message(line)
+                except ProtocolError as exc:
+                    writer.write(encode_message(error_reply(str(exc))))
+                    await writer.drain()
+                    continue
+                op = str(payload.get("op") or "")
+                if op == "watch":
+                    await self._op_watch(payload, writer)
+                    continue
+                reply = await self._dispatch(op, payload)
+                writer.write(encode_message(reply))
+                await writer.drain()
+                if op == "shutdown" and reply.get("ok"):
+                    self._stop.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, op: str, payload: dict) -> dict:
+        if op == "ping":
+            return self._op_ping()
+        if op == "submit":
+            return await self._op_submit(payload)
+        if op == "status":
+            return self._op_status(payload)
+        if op == "jobs":
+            return self._op_jobs()
+        if op == "cancel":
+            return self._op_cancel(payload)
+        if op == "fetch":
+            return await self._op_fetch(payload)
+        if op == "stats":
+            return self._op_stats()
+        if op == "shutdown":
+            self.log("shutdown requested over the wire")
+            return {"ok": True, "stopping": True}
+        return error_reply(
+            f"unknown op {op!r} (this server speaks protocol "
+            f"{PROTOCOL_VERSION}: ping, submit, status, jobs, cancel, "
+            "fetch, watch, stats, shutdown)")
+
+    # ------------------------------------------------------------------ ops
+    def _op_ping(self) -> dict:
+        from .. import __version__
+
+        return {"ok": True, "service": "repro.serve",
+                "version": __version__, "protocol": PROTOCOL_VERSION}
+
+    def _probe_cache(self, spec: CampaignSpec) -> str | None:
+        """Blocking ledger-first probe (runs in a thread): compile the
+        spec's program, predict the manifest identity, scan for it."""
+        program, _machine = prepare_spec(spec)
+        return find_cached(self.registry, spec, program)
+
+    async def _op_submit(self, payload: dict) -> dict:
+        try:
+            spec = CampaignSpec.from_dict(payload.get("spec") or {})
+        except SpecError as exc:
+            return error_reply(f"invalid spec: {exc}")
+        client = str(payload.get("client") or "anon")
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            return error_reply(
+                f"priority must be an integer, got {priority!r}")
+        tag = str(payload.get("tag") or "")
+        self.stats["submitted"] += 1
+        try:
+            cached = await asyncio.to_thread(self._probe_cache, spec)
+        except SpecError as exc:
+            return error_reply(f"cannot prepare spec: {exc}")
+        if cached:
+            # Served entirely from the ledger: the job is terminal at
+            # birth, consumes no worker, and skips the rate limit.
+            job = self.queue.submit(spec, client=client,
+                                    priority=priority, tag=tag,
+                                    enforce_limit=False)
+            self.spool.record_accepted(job)
+            self.queue.mark_cached(job.id, cached)
+            self.spool.record_finished(job)
+            self.stats["cache_hits"] += 1
+            self.log(f"cache hit {job.id} -> run {cached} "
+                     f"({spec.describe()})")
+            return {"ok": True, "job": job.id, "state": CACHED,
+                    "run": cached, "cached": True}
+        try:
+            job = self.queue.submit(spec, client=client,
+                                    priority=priority, tag=tag)
+        except RateLimitError as exc:
+            self.stats["rejected"] += 1
+            return error_reply(str(exc), rate_limited=True,
+                               limit=exc.limit, pending=exc.pending)
+        self.spool.record_accepted(job)
+        self.log(f"queued {job.id} for {client!r} "
+                 f"(priority {priority}, {spec.describe()})")
+        return {"ok": True, "job": job.id, "state": QUEUED,
+                "position": self.queue.position(job.id)}
+
+    def _job_progress(self, job) -> dict | None:
+        """The last heartbeat a running job's worker streamed."""
+        from ..obs.monitor import read_heartbeats
+
+        path = self.pool.heartbeat_path(job.id)
+        if not os.path.isfile(path):
+            return None
+        beats = read_heartbeats(path)
+        return beats[-1] if beats else None
+
+    def _op_status(self, payload: dict) -> dict:
+        job_id = str(payload.get("job") or "")
+        if not job_id:
+            return error_reply("status needs a 'job' id "
+                               "(or use the 'jobs' op)")
+        job = self.queue.get(job_id)
+        if job is None:
+            return error_reply(f"unknown job {job_id!r}")
+        reply = dict({"ok": True}, **job.public_dict())
+        if job.state == RUNNING:
+            progress = self._job_progress(job)
+            if progress is not None:
+                reply["progress"] = progress
+        return reply
+
+    def _op_jobs(self) -> dict:
+        return {"ok": True,
+                "jobs": [job.public_dict()
+                         for job in self.queue.jobs()],
+                "counts": self.queue.counts()}
+
+    def _op_cancel(self, payload: dict) -> dict:
+        job_id = str(payload.get("job") or "")
+        try:
+            was = self.queue.cancel(job_id)
+        except QueueError as exc:
+            return error_reply(str(exc))
+        if was == RUNNING:
+            self.pool.terminate(job_id)
+        job = self.queue.get(job_id)
+        self.stats["cancelled"] += 1
+        self.spool.record_finished(job)
+        self.log(f"cancelled {job_id} (was {was})")
+        return {"ok": True, "job": job_id, "state": CANCELLED,
+                "was": was}
+
+    def _read_run_files(self, run_id: str) -> dict:
+        """Blocking (thread): the run directory, wire-packed whole so
+        a fetched run is byte-identical to the stored one."""
+        run_dir = self.registry.run_dir(run_id)
+        files = {}
+        for name in sorted(os.listdir(run_dir)):
+            path = os.path.join(run_dir, name)
+            if not os.path.isfile(path):
+                continue
+            with open(path, "rb") as handle:
+                data = handle.read()
+            files[name] = dict(
+                pack_bytes(data), bytes=len(data),
+                sha256=hashlib.sha256(data).hexdigest())
+        return files
+
+    async def _op_fetch(self, payload: dict) -> dict:
+        from ..obs.registry import RegistryError
+
+        run_id = ""
+        job_id = str(payload.get("job") or "")
+        ref = str(payload.get("run") or "")
+        if job_id:
+            job = self.queue.get(job_id)
+            if job is None:
+                return error_reply(f"unknown job {job_id!r}")
+            if not job.run_id:
+                return error_reply(
+                    f"job {job_id} has no stored run yet "
+                    f"(state: {job.state})", state=job.state)
+            run_id = job.run_id
+        elif ref:
+            try:
+                run_id = await asyncio.to_thread(self.registry.resolve,
+                                                 ref)
+            except RegistryError as exc:
+                return error_reply(str(exc))
+        else:
+            return error_reply("fetch needs a 'job' id or a 'run' ref")
+        try:
+            files = await asyncio.to_thread(self._read_run_files,
+                                            run_id)
+        except OSError as exc:
+            return error_reply(
+                f"cannot read run {run_id}: {exc}")
+        return {"ok": True, "run": run_id, "files": files}
+
+    async def _op_watch(self, payload: dict, writer) -> None:
+        """Stream a job's heartbeats until it goes terminal, then its
+        final status (``final=true``)."""
+        from ..obs.monitor import read_heartbeats
+
+        job_id = str(payload.get("job") or "")
+        job = self.queue.get(job_id)
+        if job is None:
+            writer.write(encode_message(
+                error_reply(f"unknown job {job_id!r}")))
+            await writer.drain()
+            return
+        sent = 0
+        path = self.pool.heartbeat_path(job_id)
+        while True:
+            if os.path.isfile(path):
+                beats = read_heartbeats(path)
+                for beat in beats[sent:]:
+                    # The monitor marks its last heartbeat with
+                    # ``final`` -- strip it so only the status reply
+                    # below terminates the client's stream.
+                    beat = {key: value for key, value in beat.items()
+                            if key != "final"}
+                    writer.write(encode_message(
+                        dict({"ok": True, "job": job_id}, **beat)))
+                sent = len(beats) if beats else sent
+                await writer.drain()
+            if job.terminal:
+                writer.write(encode_message(
+                    dict({"ok": True, "final": True},
+                         **job.public_dict())))
+                await writer.drain()
+                return
+            await asyncio.sleep(_WATCH_POLL_SECONDS)
+
+    def _op_stats(self) -> dict:
+        counts = self.queue.counts()
+        return {"ok": True, "stats": dict(
+            self.stats,
+            queued=counts.get(QUEUED, 0),
+            running=counts.get(RUNNING, 0),
+            workers=self.pool.limit,
+            workers_active=self.pool.active(),
+            jobs=len(self.queue.jobs()),
+            protocol=PROTOCOL_VERSION,
+        )}
+
+
+# ------------------------------------------------------------------ CLI
+def main_serve(args) -> int:
+    """``python -m repro serve`` entry point."""
+    server = CampaignServer(
+        host=args.host, port=args.port,
+        runs_dir=args.runs_dir or None,
+        state_dir=args.state_dir or None,
+        workers=args.workers, max_pending=args.max_pending)
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:
+        print("\n[serve] interrupted; accepted jobs stay spooled and "
+              "re-queue on the next start", file=sys.stderr)
+    return 0

@@ -388,3 +388,39 @@ def test_cli_top_once_json_format(tmp_path, capsys):
                      "--format", "json"]) == 0
     doc = json.loads(capsys.readouterr().out)
     assert doc["kind"] == "top" and doc["tables"]
+
+
+# ------------------------------------------------------------ staging litter
+def test_obs_runs_lists_staging_litter(tmp_path, swiftr_binary, capsys):
+    """A crashed store leaves a .staging-* dir; ``obs runs`` must list
+    it under a STAGING flag instead of erroring, and --gc reclaims it
+    while keeping the tagged run."""
+    runs = str(tmp_path / "runs")
+    registry = RunRegistry(runs)
+    stored = _store(registry, swiftr_binary, tag="keep")
+    litter = tmp_path / "runs" / ".staging-4242-1700000000000000"
+    litter.mkdir()
+    (litter / "trials.jsonl.gz").write_bytes(b"\x1f\x8b\x08partial")
+    assert registry.staging_dirs() == [litter.name]
+
+    assert cli_main(["obs", "runs", "--runs-dir", runs]) == 0
+    out = capsys.readouterr().out
+    assert "STAGING" in out and litter.name in out
+    assert "--gc" in out                       # reclaim hint
+    assert stored.run_id[:12] in out           # real runs still listed
+
+    assert cli_main(["obs", "runs", "--runs-dir", runs, "--gc"]) == 0
+    out = capsys.readouterr().out
+    assert not litter.exists()
+    assert "STAGING" not in out
+    assert stored.run_id[:12] in out           # tagged run survives gc
+
+
+def test_obs_runs_staging_only_ledger(tmp_path, capsys):
+    """Litter with no stored runs at all still renders (exit 0)."""
+    runs = str(tmp_path / "runs")
+    litter = tmp_path / "runs" / ".staging-7-7"
+    litter.mkdir(parents=True)
+    assert cli_main(["obs", "runs", "--runs-dir", runs]) == 0
+    out = capsys.readouterr().out
+    assert "STAGING" in out and "0 run(s)" in out

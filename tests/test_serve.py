@@ -1,0 +1,506 @@
+"""Campaign-as-a-service: specs, queue semantics, workers, and the
+live server (cache hits, cancellation, restart re-queue, fetch
+byte-identity)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.registry import RunRegistry
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.protocol import pack_bytes, unpack_bytes
+from repro.serve.queue import (
+    CACHED,
+    CANCELLED,
+    DONE,
+    JobQueue,
+    JobSpool,
+    QUEUED,
+    QueueError,
+    RateLimitError,
+    RUNNING,
+)
+from repro.serve.server import CampaignServer
+from repro.serve.spec import (
+    CampaignSpec,
+    SpecError,
+    find_cached,
+    prepare_spec,
+    run_spec,
+    store_spec_run,
+)
+from repro.serve.workers import execute_spec_job
+from repro.__main__ import main as cli_main
+
+TINY_SOURCE = """\
+int main() {
+  int a = 3;
+  int b = 4;
+  print(a * b + 30);
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def tiny_c(tmp_path):
+    path = tmp_path / "tiny.c"
+    path.write_text(TINY_SOURCE)
+    return str(path)
+
+
+def _spec(**overrides):
+    base = dict(source_text=TINY_SOURCE, technique="swiftr", seed=7,
+                trials=20)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+# ------------------------------------------------------------------ specs
+def test_spec_requires_exactly_one_program_axis():
+    with pytest.raises(SpecError):
+        CampaignSpec(technique="swiftr")          # no program at all
+    with pytest.raises(SpecError):
+        CampaignSpec(workload="crc32", source="x.c")
+
+
+def test_spec_validates_fields():
+    with pytest.raises(SpecError):
+        CampaignSpec(technique="nope", workload="crc32")
+    with pytest.raises(SpecError):
+        CampaignSpec(workload="not-a-workload")
+    with pytest.raises(SpecError):
+        _spec(fault_model="cosmic-ray")
+    with pytest.raises(SpecError):
+        _spec(seed=True)                          # bools are not seeds
+    with pytest.raises(SpecError):
+        _spec(trials=0)
+    with pytest.raises(SpecError):
+        _spec(adaptive=True, metric="nope")
+    with pytest.raises(SpecError):
+        _spec(adaptive=True, ci_width=1.5)
+    with pytest.raises(SpecError):
+        _spec(jobs=-1)
+
+
+def test_spec_from_dict_rejects_unknown_keys_and_non_dicts():
+    with pytest.raises(SpecError):
+        CampaignSpec.from_dict({"workload": "crc32", "bogus": 1})
+    with pytest.raises(SpecError):
+        CampaignSpec.from_dict(["not", "a", "dict"])
+
+
+def test_spec_dict_round_trip_omits_defaults():
+    spec = _spec()
+    wire = spec.to_dict()
+    assert wire["technique"] == "swiftr"
+    assert "trials" not in wire or wire["trials"] != 250
+    assert "ci_width" not in wire            # default stays implicit
+    assert CampaignSpec.from_dict(wire) == spec
+
+
+def test_spec_key_ignores_jobs_but_not_results_axes():
+    assert _spec(jobs=1).spec_key() == _spec(jobs=4).spec_key()
+    assert _spec(seed=8).spec_key() != _spec(seed=7).spec_key()
+    assert _spec().spec_key() != _spec(adaptive=True).spec_key()
+    # Adaptive identity drops trials; fixed identity drops the knobs.
+    assert (_spec(adaptive=True, trials=20).spec_key()
+            == _spec(adaptive=True, trials=99).spec_key())
+
+
+def test_workload_dict_matches_direct_cli_conventions(tiny_c):
+    assert CampaignSpec(workload="crc32").workload_dict() == {
+        "benchmark": "crc32"}
+    assert CampaignSpec(source=tiny_c).workload_dict() == {
+        "source": tiny_c}
+    inline = _spec().workload_dict()
+    assert inline["source"].startswith("text:")
+
+
+def test_prepare_spec_reports_missing_source():
+    with pytest.raises(SpecError):
+        prepare_spec(CampaignSpec(source="/no/such/file.c"))
+
+
+# --------------------------------------------------------------- run_spec
+def test_run_spec_matches_direct_campaign():
+    from repro.faults import run_campaign
+
+    spec = _spec()
+    program, machine = prepare_spec(spec)
+    served = run_spec(spec, program, machine=machine).result
+    direct = run_campaign(program, trials=spec.trials, seed=spec.seed)
+    assert served.summary_dict() == direct.summary_dict()
+    assert served.config == direct.config
+
+
+def test_run_spec_adaptive_rejects_incompatible_hooks():
+    spec = _spec(adaptive=True, max_trials=50)
+    program, _ = prepare_spec(spec)
+    with pytest.raises(SpecError):
+        run_spec(spec, program, taint=True)
+    with pytest.raises(SpecError):
+        run_spec(spec, program, profile=object())
+
+
+# ------------------------------------------------------------ cache probe
+def test_find_cached_round_trip(tmp_path):
+    from repro.obs import CampaignLog
+
+    registry = RunRegistry(str(tmp_path / "runs"))
+    spec = _spec()
+    program, machine = prepare_spec(spec)
+    assert find_cached(registry, spec, program) is None
+    log = CampaignLog(context=spec.log_context())
+    run = run_spec(spec, program, machine=machine, log=log)
+    stored = store_spec_run(registry, spec, run, program, log)
+    assert stored.created
+    assert find_cached(registry, spec, program) == stored.run_id
+    # A different seed (or budget) is a different campaign: no hit.
+    assert find_cached(registry, _spec(seed=8), program) is None
+    assert find_cached(registry, _spec(trials=21), program) is None
+
+
+def test_find_cached_adaptive_round_trip(tmp_path):
+    from repro.obs import CampaignLog
+
+    registry = RunRegistry(str(tmp_path / "runs"))
+    spec = _spec(adaptive=True, max_trials=60)
+    program, machine = prepare_spec(spec)
+    log = CampaignLog(context=spec.log_context())
+    run = run_spec(spec, program, machine=machine, log=log)
+    stored = store_spec_run(registry, spec, run, program, log)
+    assert find_cached(registry, spec, program) == stored.run_id
+    assert find_cached(registry, _spec(adaptive=True, max_trials=61),
+                       program) is None
+
+
+# ---------------------------------------------------------------- queue
+def test_queue_fifo_within_priority():
+    queue = JobQueue()
+    low1 = queue.submit(_spec(seed=1))
+    high = queue.submit(_spec(seed=2), priority=5)
+    low2 = queue.submit(_spec(seed=3))
+    assert queue.position(high.id) == 1
+    assert [queue.next_job().id for _ in range(3)] == [
+        high.id, low1.id, low2.id]
+    assert queue.next_job() is None
+
+
+def test_queue_rate_limit_is_per_client():
+    queue = JobQueue(max_pending=2)
+    queue.submit(_spec(seed=1), client="alice")
+    queue.submit(_spec(seed=2), client="alice")
+    with pytest.raises(RateLimitError) as info:
+        queue.submit(_spec(seed=3), client="alice")
+    assert info.value.client == "alice" and info.value.limit == 2
+    queue.submit(_spec(seed=4), client="bob")   # other clients unharmed
+    # Replay path bypasses the limit: accepted jobs never re-reject.
+    queue.submit(_spec(seed=5), client="alice", enforce_limit=False)
+
+
+def test_queue_cancel_queued_and_running():
+    queue = JobQueue()
+    queued = queue.submit(_spec(seed=1))
+    running = queue.submit(_spec(seed=2))
+    first = queue.next_job()
+    assert first.id == queued.id and first.state == RUNNING
+    assert queue.cancel(running.id) == QUEUED
+    assert queue.cancel(first.id) == RUNNING
+    assert queue.next_job() is None             # lazy deletion skips
+    with pytest.raises(QueueError):
+        queue.cancel(queued.id)                 # already terminal
+
+
+def test_queue_finish_and_counts():
+    queue = JobQueue()
+    job = queue.submit(_spec())
+    queue.next_job()
+    queue.finish(job.id, state=DONE, run_id="abc123")
+    assert queue.get(job.id).run_id == "abc123"
+    assert queue.counts() == {DONE: 1}
+    cached = queue.submit(_spec(seed=9))
+    queue.mark_cached(cached.id, "def456")
+    assert queue.get(cached.id).state == CACHED
+    assert queue.get(cached.id).public_dict()["cached"] is True
+
+
+# ---------------------------------------------------------------- spool
+def test_spool_replay_returns_accepted_but_unfinished(tmp_path):
+    spool = JobSpool(str(tmp_path / "spool.jsonl"))
+    queue = JobQueue()
+    done = queue.submit(_spec(seed=1))
+    open_job = queue.submit(_spec(seed=2), priority=3, client="ci")
+    spool.record_accepted(done)
+    spool.record_accepted(open_job)
+    queue.next_job()
+    queue.finish(done.id, state=DONE, run_id="abc")
+    spool.record_finished(done)
+    survivors = spool.replay()
+    assert [e["job"] for e in survivors] == [open_job.id]
+    assert survivors[0]["priority"] == 3
+    assert survivors[0]["client"] == "ci"
+    assert CampaignSpec.from_dict(survivors[0]["spec"]) == open_job.spec
+
+
+def test_spool_tolerates_torn_lines_and_bad_specs(tmp_path):
+    path = tmp_path / "spool.jsonl"
+    good = {"kind": "job_accepted", "job": "j1",
+            "spec": _spec().to_dict()}
+    bad_spec = {"kind": "job_accepted", "job": "j2",
+                "spec": {"workload": "gone-workload"}}
+    path.write_text(json.dumps(good) + "\n"
+                    + json.dumps(bad_spec) + "\n"
+                    + '{"kind": "job_acc')      # torn final line
+    survivors = JobSpool(str(path)).replay()
+    assert [e["job"] for e in survivors] == ["j1"]
+
+
+# --------------------------------------------------------------- workers
+def test_execute_spec_job_stores_and_reports(tmp_path):
+    runs = str(tmp_path / "runs")
+    result_path = str(tmp_path / "result.json")
+    heartbeat = str(tmp_path / "beats.jsonl")
+    payload = execute_spec_job(_spec().to_dict(), runs, heartbeat,
+                               result_path)
+    assert payload["ok"] and payload["run"]
+    assert payload["summary"]["trials"] == 20
+    on_disk = json.loads(open(result_path).read())
+    assert on_disk == payload
+    assert os.path.isfile(heartbeat)
+    registry = RunRegistry(runs)
+    assert find_cached(registry, _spec()) == payload["run"]
+
+
+def test_execute_spec_job_never_raises(tmp_path):
+    result_path = str(tmp_path / "result.json")
+    payload = execute_spec_job({"workload": "nope"},
+                               str(tmp_path / "runs"), "", result_path)
+    assert not payload["ok"]
+    assert "nope" in payload["error"]
+    assert json.loads(open(result_path).read()) == payload
+
+
+# -------------------------------------------------------------- protocol
+def test_pack_bytes_round_trips_and_is_deterministic():
+    plain = b'{"kind": "trial"}\n' * 10
+    entry = pack_bytes(plain)
+    assert entry["encoding"] == "gzip+base64"
+    assert unpack_bytes(entry) == plain
+    assert pack_bytes(plain) == entry           # deterministic gzip
+    import gzip as gz
+
+    gzipped = gz.compress(b"already compressed")
+    entry = pack_bytes(gzipped)
+    assert entry["encoding"] == "base64"
+    assert unpack_bytes(entry) == gzipped       # original bytes back
+
+
+# ---------------------------------------------------------- live server
+@pytest.fixture
+def server(tmp_path):
+    srv = CampaignServer(port=0, runs_dir=str(tmp_path / "runs"),
+                         state_dir=str(tmp_path / "serve"),
+                         workers=2, quiet=True)
+    thread = srv.serve_in_thread()
+    yield srv
+    srv.request_stop()
+    thread.join(timeout=20)
+
+
+def test_server_cold_then_cached_submission(server, tmp_path):
+    client = ServiceClient(port=server.port)
+    spec = _spec()
+    cold = client.submit(spec)
+    assert cold["state"] == QUEUED
+    final = client.wait(cold["job"])
+    assert final["state"] == DONE and final["run"]
+
+    cached = client.submit(spec)
+    assert cached["state"] == CACHED
+    assert cached["run"] == final["run"]
+    stats = client.stats()["stats"]
+    # The second submission executed zero trials: one worker ever ran.
+    assert stats["executed"] == 1
+    assert stats["cache_hits"] == 1
+
+    run_id, files = client.fetch(job=cold["job"],
+                                 dest=str(tmp_path / "fetch"))
+    assert run_id == final["run"]
+    run_dir = os.path.join(str(tmp_path / "runs"), run_id)
+    assert sorted(os.path.basename(p) for p in files) == sorted(
+        os.listdir(run_dir))
+    for path in files:
+        stored = os.path.join(run_dir, os.path.basename(path))
+        assert open(path, "rb").read() == open(stored, "rb").read()
+
+
+def test_server_cache_hit_needs_no_workers(tmp_path):
+    from repro.obs import CampaignLog
+
+    runs = str(tmp_path / "runs")
+    spec = _spec()
+    program, machine = prepare_spec(spec)
+    log = CampaignLog(context=spec.log_context())
+    stored = store_spec_run(RunRegistry(runs), spec,
+                            run_spec(spec, program, machine=machine,
+                                     log=log), program, log)
+    # workers=0 cannot execute anything; only the cache can answer.
+    srv = CampaignServer(port=0, runs_dir=runs,
+                         state_dir=str(tmp_path / "serve"),
+                         workers=0, quiet=True)
+    thread = srv.serve_in_thread()
+    try:
+        reply = ServiceClient(port=srv.port).submit(spec)
+        assert reply["state"] == CACHED
+        assert reply["run"] == stored.run_id
+    finally:
+        srv.request_stop()
+        thread.join(timeout=20)
+
+
+def test_server_rate_limits_per_client(tmp_path):
+    srv = CampaignServer(port=0, runs_dir=str(tmp_path / "runs"),
+                         state_dir=str(tmp_path / "serve"),
+                         workers=0, max_pending=1, quiet=True)
+    thread = srv.serve_in_thread()
+    try:
+        client = ServiceClient(port=srv.port)
+        client.submit(_spec(seed=1), client="ci")
+        with pytest.raises(ServiceError) as info:
+            client.submit(_spec(seed=2), client="ci")
+        assert info.value.reply.get("rate_limited") is True
+        client.submit(_spec(seed=2), client="other")
+    finally:
+        srv.request_stop()
+        thread.join(timeout=20)
+
+
+def test_server_cancel_queued_job(tmp_path):
+    srv = CampaignServer(port=0, runs_dir=str(tmp_path / "runs"),
+                         state_dir=str(tmp_path / "serve"),
+                         workers=0, quiet=True)
+    thread = srv.serve_in_thread()
+    try:
+        client = ServiceClient(port=srv.port)
+        job = client.submit(_spec())["job"]
+        reply = client.cancel(job)
+        assert reply["was"] == QUEUED
+        assert client.status(job)["state"] == CANCELLED
+        with pytest.raises(ServiceError):
+            client.cancel(job)                  # already terminal
+    finally:
+        srv.request_stop()
+        thread.join(timeout=20)
+
+
+def test_server_cancel_running_job(server):
+    client = ServiceClient(port=server.port)
+    # A budget big enough that the worker is still mid-campaign when
+    # the cancel lands (compile alone takes a moment).
+    job = client.submit(CampaignSpec(workload="crc32", seed=3,
+                                     trials=4000))["job"]
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        state = client.status(job)["state"]
+        if state == RUNNING:
+            break
+        assert state == QUEUED
+        time.sleep(0.05)
+    reply = client.cancel(job)
+    assert reply["was"] == RUNNING
+    assert client.status(job)["state"] == CANCELLED
+    # The killed worker must not resurrect the job as done/failed.
+    time.sleep(0.5)
+    assert client.status(job)["state"] == CANCELLED
+    assert client.stats()["stats"]["cancelled"] == 1
+
+
+def test_server_restart_requeues_accepted_jobs(tmp_path):
+    runs = str(tmp_path / "runs")
+    state = str(tmp_path / "serve")
+    srv = CampaignServer(port=0, runs_dir=runs, state_dir=state,
+                         workers=0, quiet=True)
+    thread = srv.serve_in_thread()
+    try:
+        client = ServiceClient(port=srv.port)
+        job = client.submit(_spec(), priority=2)["job"]
+        done = client.submit(_spec(seed=11))["job"]
+        client.cancel(done)                     # terminal: not replayed
+    finally:
+        srv.request_stop()
+        thread.join(timeout=20)
+
+    revived = CampaignServer(port=0, runs_dir=runs, state_dir=state,
+                             workers=1, quiet=True)
+    thread = revived.serve_in_thread()
+    try:
+        client = ServiceClient(port=revived.port)
+        assert client.stats()["stats"]["requeued"] == 1
+        listed = {j["job"]: j for j in client.jobs()["jobs"]}
+        assert job in listed and done not in listed
+        assert listed[job]["priority"] == 2
+        final = client.wait(job)                # re-queued job executes
+        assert final["state"] == DONE and final["run"]
+    finally:
+        revived.request_stop()
+        thread.join(timeout=20)
+
+
+def test_server_rejects_garbage_frames_and_unknown_ops(server):
+    import socket
+
+    with socket.create_connection(("127.0.0.1", server.port),
+                                  timeout=30) as sock:
+        handle = sock.makefile("rb")
+        sock.sendall(b"not json\n")
+        assert not json.loads(handle.readline())["ok"]
+        sock.sendall(b'{"op": "frobnicate"}\n')
+        reply = json.loads(handle.readline())
+        assert not reply["ok"] and "frobnicate" in reply["error"]
+        sock.sendall(b'{"op": "submit", "spec": {"trials": 5}}\n')
+        assert "exactly one program" in json.loads(
+            handle.readline())["error"]
+
+
+# ------------------------------------------------------------ CLI client
+def test_cli_submit_wait_status_fetch_cancel(server, tiny_c, tmp_path,
+                                             capsys):
+    endpoint = ["--host", "127.0.0.1", "--port", str(server.port)]
+    assert cli_main(["submit", *endpoint, tiny_c, "--trials", "20",
+                     "--seed", "7", "--wait"]) == 0
+    out = capsys.readouterr().out
+    assert "state     : done" in out
+    run_id = [line for line in out.splitlines()
+              if line.startswith("run       :")][0].split()[-1]
+
+    # Resubmitting the identical spec is answered from the ledger.
+    assert cli_main(["submit", *endpoint, tiny_c, "--trials", "20",
+                     "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "state     : cached" in out and run_id in out
+
+    assert cli_main(["status", *endpoint]) == 0
+    assert "done" in capsys.readouterr().out
+
+    dest = str(tmp_path / "cli-fetch")
+    assert cli_main(["fetch", *endpoint, "--run", run_id,
+                     "--dest", dest]) == 0
+    capsys.readouterr()
+    assert os.path.isfile(os.path.join(dest, run_id, "manifest.json"))
+
+    queued = cli_main(["submit", *endpoint, tiny_c, "--trials", "21"])
+    assert queued == 0
+    out = capsys.readouterr().out
+    job = [line for line in out.splitlines()
+           if line.startswith("job       :")][0].split()[-1]
+    assert cli_main(["cancel", *endpoint, job]) == 0
+    assert "cancelled" in capsys.readouterr().out
+
+
+def test_cli_submit_refuses_connection_cleanly(tiny_c, capsys):
+    # Unroutable port: a clean error message, not a traceback.
+    assert cli_main(["submit", "--port", "1", tiny_c]) == 1
+    assert "serve" in capsys.readouterr().err
